@@ -1,0 +1,43 @@
+# Standard workflows for the memexplore reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test short bench figs exhibits fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+# One testing.B target per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every exhibit with REPRODUCED/DIVERGED checks.
+figs:
+	$(GO) run ./cmd/paperfigs
+
+# Refresh the committed exhibit record under docs/exhibits/.
+exhibits:
+	$(GO) run ./cmd/paperfigs -out docs/exhibits > /dev/null
+
+# Short fuzz passes over the parsers.
+fuzz:
+	$(GO) test ./internal/loopir -fuzz 'FuzzParse$$' -fuzztime 30s
+	$(GO) test ./internal/loopir -fuzz FuzzParseExpr -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz FuzzReadDin -fuzztime 30s
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

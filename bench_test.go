@@ -1,0 +1,207 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation — one testing.B target per exhibit, as indexed in DESIGN.md.
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding exhibit from
+// internal/figures (the same code cmd/paperfigs prints) and fails if any
+// of the paper's qualitative claims diverge. The printed tables for the
+// record live in EXPERIMENTS.md.
+package memexplore_test
+
+import (
+	"strings"
+	"testing"
+
+	"memexplore/internal/bus"
+	"memexplore/internal/cachesim"
+	"memexplore/internal/figures"
+	"memexplore/internal/kernels"
+	"memexplore/internal/loopir"
+)
+
+// runExhibit executes one figure/table generator b.N times, failing the
+// benchmark if the regenerated data contradicts the paper's claims.
+func runExhibit(b *testing.B, id string) {
+	b.Helper()
+	entry, err := figures.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := entry.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i > 0 {
+			continue
+		}
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+		for _, f := range res.Findings {
+			if strings.Contains(f, "[DIVERGED]") {
+				b.Errorf("%s: %s", id, f)
+			}
+		}
+	}
+}
+
+// BenchmarkFig01EnergyVsEm regenerates Figure 1: Compress energy versus
+// cache and line size for Em = 43.56 nJ and Em = 2.31 nJ (the trend
+// reversal that motivates energy as a first-class metric).
+func BenchmarkFig01EnergyVsEm(b *testing.B) { runExhibit(b, "fig01") }
+
+// BenchmarkFig02MetricsVsCacheAndLine regenerates Figure 2: miss rate,
+// cycles and energy for the five kernels over C16L4…C128L32.
+func BenchmarkFig02MetricsVsCacheAndLine(b *testing.B) { runExhibit(b, "fig02") }
+
+// BenchmarkFig03CompressCycles regenerates Figure 3: the Compress cycle
+// surface over the (C, L) grid.
+func BenchmarkFig03CompressCycles(b *testing.B) { runExhibit(b, "fig03") }
+
+// BenchmarkFig04CompressEnergy regenerates Figure 4: the Compress energy
+// surface (Em = 4.95 nJ) with its C16L4 minimum.
+func BenchmarkFig04CompressEnergy(b *testing.B) { runExhibit(b, "fig04") }
+
+// BenchmarkFig05OffchipAssignment regenerates Figure 5: the miss-rate
+// reduction from the §4.1 off-chip memory assignment.
+func BenchmarkFig05OffchipAssignment(b *testing.B) { runExhibit(b, "fig05") }
+
+// BenchmarkFig06Tiling regenerates Figure 6: miss rate, cycles and energy
+// versus tiling size at C64L8.
+func BenchmarkFig06Tiling(b *testing.B) { runExhibit(b, "fig06") }
+
+// BenchmarkFig07EnergyTilingAssoc regenerates Figure 7: Compress and
+// Dequant energy versus tiling and versus set associativity.
+func BenchmarkFig07EnergyTilingAssoc(b *testing.B) { runExhibit(b, "fig07") }
+
+// BenchmarkFig08Associativity regenerates Figure 8: miss rate, cycles and
+// energy versus set associativity at C64L8.
+func BenchmarkFig08Associativity(b *testing.B) { runExhibit(b, "fig08") }
+
+// BenchmarkFig09AssocTilingCombined regenerates Figure 9: the combined
+// (SA, TS) table with optimized and unoptimized values.
+func BenchmarkFig09AssocTilingCombined(b *testing.B) { runExhibit(b, "fig09") }
+
+// BenchmarkFig10MPEGPerKernel regenerates Figure 10: the minimum-energy
+// configuration for each MPEG decoder kernel.
+func BenchmarkFig10MPEGPerKernel(b *testing.B) { runExhibit(b, "fig10") }
+
+// BenchmarkSec3MinCacheSize regenerates the §3 analytical minimum cache
+// sizes and the bounded-selection examples.
+func BenchmarkSec3MinCacheSize(b *testing.B) { runExhibit(b, "sec3") }
+
+// BenchmarkSec3BoundedSelection is an alias target for the §3 selection
+// queries (the same exhibit computes both tables).
+func BenchmarkSec3BoundedSelection(b *testing.B) { runExhibit(b, "sec3") }
+
+// BenchmarkSec5MPEGAggregate regenerates the §5 whole-decoder result:
+// minimum-energy versus minimum-cycles configuration.
+func BenchmarkSec5MPEGAggregate(b *testing.B) { runExhibit(b, "sec5") }
+
+// BenchmarkAblationGrayVsBinary measures the address-bus switching of the
+// Compress trace under Gray versus binary encoding — the paper's Gray-code
+// assumption quantified.
+func BenchmarkAblationGrayVsBinary(b *testing.B) {
+	n := kernels.Compress()
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var grayBS, binBS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grayBS = bus.MeasureTrace(tr, bus.Gray).AddBS()
+		binBS = bus.MeasureTrace(tr, bus.Binary).AddBS()
+	}
+	b.StopTimer()
+	if grayBS >= binBS {
+		b.Errorf("gray switching %v should be below binary %v", grayBS, binBS)
+	}
+	b.ReportMetric(grayBS, "gray-addbs")
+	b.ReportMetric(binBS, "binary-addbs")
+}
+
+// BenchmarkAblationReplacement compares LRU, FIFO and random replacement
+// on the Compress trace at a contended 4-way geometry.
+func BenchmarkAblationReplacement(b *testing.B) {
+	n := kernels.Compress()
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := map[string]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []cachesim.Replacement{cachesim.LRU, cachesim.FIFO, cachesim.Random} {
+			cfg := cachesim.DefaultConfig(64, 8, 4)
+			cfg.Replacement = pol
+			st, err := cachesim.RunTraceFast(cfg, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rates[pol.String()] = st.MissRate()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rates["LRU"], "lru-missrate")
+	b.ReportMetric(rates["FIFO"], "fifo-missrate")
+	b.ReportMetric(rates["random"], "random-missrate")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed on a long
+// synthetic trace — the substrate's own performance, useful when sizing
+// larger sweeps.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	n := kernels.MatMul()
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cachesim.DefaultConfig(1024, 16, 4)
+	b.SetBytes(int64(tr.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cachesim.RunTraceFast(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtEnergyBreakdown regenerates the energy-component
+// decomposition exhibit (why the energy optimum is interior).
+func BenchmarkExtEnergyBreakdown(b *testing.B) { runExhibit(b, "ext-breakdown") }
+
+// BenchmarkExtICache regenerates the §6 instruction-cache extension and
+// the joint I+D budget selection.
+func BenchmarkExtICache(b *testing.B) { runExhibit(b, "ext-icache") }
+
+// BenchmarkExtStackDist regenerates the reuse-distance analysis and its
+// exact cross-check against the simulator.
+func BenchmarkExtStackDist(b *testing.B) { runExhibit(b, "ext-stackdist") }
+
+// BenchmarkExtWarmPipeline regenerates the warm-pipeline-vs-cold-
+// composition ablation of the §5 independence assumption.
+func BenchmarkExtWarmPipeline(b *testing.B) { runExhibit(b, "ext-warm") }
+
+// BenchmarkExtVictimVsLayout regenerates the hardware-vs-software
+// conflict-elimination comparison (victim buffer vs §4.1 assignment).
+func BenchmarkExtVictimVsLayout(b *testing.B) { runExhibit(b, "ext-victim") }
+
+// BenchmarkExtScratchpad regenerates the cache-vs-scratchpad equal-
+// capacity comparison.
+func BenchmarkExtScratchpad(b *testing.B) { runExhibit(b, "ext-spm") }
+
+// BenchmarkExtTwoLevel regenerates the two-level-vs-single-level
+// comparison at equal on-chip capacity.
+func BenchmarkExtTwoLevel(b *testing.B) { runExhibit(b, "ext-l2") }
+
+// BenchmarkExtEmCrossover regenerates the bisection for the Em value at
+// which the Compress energy optimum changes cache size.
+func BenchmarkExtEmCrossover(b *testing.B) { runExhibit(b, "ext-crossover") }
+
+// BenchmarkExtAutotune regenerates the transformation × cache codesign
+// search on the transpose kernel.
+func BenchmarkExtAutotune(b *testing.B) { runExhibit(b, "ext-autotune") }

@@ -1,0 +1,375 @@
+// Command memexplore runs the paper's exploration algorithm for one
+// benchmark kernel and reports the configuration space with the bounded
+// and unbounded optima.
+//
+// Usage:
+//
+//	memexplore -kernel compress
+//	memexplore -kernel sor -em 43.56 -cycle-bound 30000
+//	memexplore -kernel matmul -unoptimized -pareto
+//	memexplore -list
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"memexplore"
+	"memexplore/internal/report"
+)
+
+func main() {
+	var (
+		kernelName  = flag.String("kernel", "compress", "benchmark kernel to explore (see -list)")
+		kernelFile  = flag.String("file", "", "explore a kernel parsed from this file (overrides -kernel; see the README for the nest syntax)")
+		list        = flag.Bool("list", false, "list available kernels and exit")
+		sizes       = flag.String("sizes", "16,32,64,128,256,512,1024", "candidate cache sizes T in bytes")
+		lines       = flag.String("lines", "4,8,16,32,64", "candidate line sizes L in bytes")
+		assocs      = flag.String("assocs", "1,2,4,8", "candidate set associativities S")
+		tilings     = flag.String("tilings", "1,2,4,8,16", "candidate tiling sizes B")
+		em          = flag.Float64("em", 4.95, "main-memory energy per access in nJ (paper parts: 4.95, 2.31, 43.56)")
+		unoptimized = flag.Bool("unoptimized", false, "disable the §4.1 off-chip memory assignment")
+		cycleBound  = flag.Float64("cycle-bound", 0, "report the min-energy configuration under this cycle bound")
+		energyBound = flag.Float64("energy-bound", 0, "report the min-time configuration under this energy bound (nJ)")
+		pareto      = flag.Bool("pareto", false, "print the cycles/energy Pareto frontier")
+		top         = flag.Int("top", 10, "print the N lowest-energy configurations (0 = all)")
+		workers     = flag.Int("parallel", 0, "explore with this many workers (0 = sequential)")
+		icacheMode  = flag.Bool("icache", false, "explore an instruction cache for the kernel instead of a data cache (§6 extension)")
+		program     = flag.String("program", "", "aggregate a whole program: 'mpeg' or a file of '<kernel|nestfile> <trip>' lines (§5)")
+		repl        = flag.String("repl", "lru", "replacement policy: lru, fifo, random")
+		victim      = flag.Int("victim", 0, "attach a fully associative victim buffer of N lines to every cache")
+		writeThru   = flag.Bool("write-through", false, "write-through instead of write-back caches")
+		csvPath     = flag.String("csv", "", "write the full sweep as CSV to this file ('-' for stdout)")
+		jsonPath    = flag.String("json", "", "write the full sweep as JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range memexplore.KernelNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := buildOptions(*sizes, *lines, *assocs, *tilings, *em, *unoptimized)
+	switch *repl {
+	case "lru": // default
+	case "fifo":
+		opts.Replacement = memexplore.FIFO
+	case "random":
+		opts.Replacement = memexplore.RandomReplacement
+	default:
+		fatal(fmt.Errorf("unknown replacement policy %q", *repl))
+	}
+	opts.VictimLines = *victim
+	opts.WriteThrough = *writeThru
+
+	if *program != "" {
+		if err := runProgram(*program, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	kern, err := loadKernel(*kernelName, *kernelFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("kernel %s:\n%s\n", kern.Name, kern)
+	if lines, err := memexplore.MinCacheLines(kern, opts.LineSizes[0]); err == nil {
+		fmt.Printf("analytical minimum: %d cache lines (%d bytes at L=%d)\n\n",
+			lines, lines*opts.LineSizes[0], opts.LineSizes[0])
+	}
+
+	var ms []memexplore.Metrics
+	switch {
+	case *icacheMode:
+		ms, err = memexplore.ExploreICache(kern, memexplore.DefaultCodeGen(), opts)
+	case *workers > 0:
+		ms, err = memexplore.ExploreParallel(kern, opts, *workers)
+	default:
+		ms, err = memexplore.Explore(kern, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, ms); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, ms); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvPath != "" || *jsonPath != "" {
+		return
+	}
+
+	byEnergy := append([]memexplore.Metrics(nil), ms...)
+	sort.SliceStable(byEnergy, func(i, j int) bool { return byEnergy[i].EnergyNJ < byEnergy[j].EnergyNJ })
+	if *top > 0 && len(byEnergy) > *top {
+		byEnergy = byEnergy[:*top]
+	}
+	tbl := report.New(fmt.Sprintf("lowest-energy configurations (%d of %d evaluated)", len(byEnergy), len(ms)),
+		"config", "missrate", "cycles", "energy(nJ)")
+	for _, m := range byEnergy {
+		tbl.MustAdd(m.Label(), report.F(m.MissRate), report.F(m.Cycles), report.F(m.EnergyNJ))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+
+	if minE, ok := memexplore.MinEnergy(ms); ok {
+		fmt.Printf("minimum energy: %s  (%.0f nJ, %.0f cycles)\n", minE.Label(), minE.EnergyNJ, minE.Cycles)
+	}
+	if minC, ok := memexplore.MinCycles(ms); ok {
+		fmt.Printf("minimum cycles: %s  (%.0f cycles, %.0f nJ)\n", minC.Label(), minC.Cycles, minC.EnergyNJ)
+	}
+	if m, ok := memexplore.MinEDP(ms); ok {
+		fmt.Printf("minimum EDP:    %s  (%.3g nJ·cycles)\n", m.Label(), m.EDP())
+	}
+	if *cycleBound > 0 {
+		if m, ok := memexplore.MinEnergyUnderCycleBound(ms, *cycleBound); ok {
+			fmt.Printf("min energy under %.0f cycles: %s (%.0f nJ, %.0f cycles)\n",
+				*cycleBound, m.Label(), m.EnergyNJ, m.Cycles)
+		} else {
+			fmt.Printf("no configuration meets the cycle bound %.0f\n", *cycleBound)
+		}
+	}
+	if *energyBound > 0 {
+		if m, ok := memexplore.MinCyclesUnderEnergyBound(ms, *energyBound); ok {
+			fmt.Printf("min cycles under %.0f nJ: %s (%.0f cycles, %.0f nJ)\n",
+				*energyBound, m.Label(), m.Cycles, m.EnergyNJ)
+		} else {
+			fmt.Printf("no configuration meets the energy bound %.0f nJ\n", *energyBound)
+		}
+	}
+	if *pareto {
+		fmt.Println()
+		ptbl := report.New("cycles/energy Pareto frontier", "config", "cycles", "energy(nJ)")
+		for _, m := range memexplore.ParetoFrontier(ms) {
+			ptbl.MustAdd(m.Label(), report.F(m.Cycles), report.F(m.EnergyNJ))
+		}
+		if err := ptbl.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func mustParseInts(list string) []int {
+	out, err := parseInts(list)
+	if err != nil {
+		fatal(err)
+	}
+	return out
+}
+
+// parseInts parses a comma-separated integer list.
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty integer list %q", list)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memexplore:", err)
+	os.Exit(1)
+}
+
+// writeCSV dumps the sweep as comma-separated values.
+func writeCSV(path string, ms []memexplore.Metrics) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"cache", "line", "assoc", "tiling", "optimized",
+		"accesses", "hits", "misses", "missrate",
+		"cycles", "energy_nj", "e_dec", "e_cell", "e_io", "e_main", "addbs",
+	}); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		rec := []string{
+			strconv.Itoa(m.CacheSize), strconv.Itoa(m.LineSize),
+			strconv.Itoa(m.Assoc), strconv.Itoa(m.Tiling),
+			strconv.FormatBool(m.Optimized),
+			strconv.FormatUint(m.Accesses, 10), strconv.FormatUint(m.Hits, 10),
+			strconv.FormatUint(m.Misses, 10),
+			strconv.FormatFloat(m.MissRate, 'g', 8, 64),
+			strconv.FormatFloat(m.Cycles, 'g', 10, 64),
+			strconv.FormatFloat(m.EnergyNJ, 'g', 10, 64),
+			strconv.FormatFloat(m.Energy.DecNJ, 'g', 8, 64),
+			strconv.FormatFloat(m.Energy.CellNJ, 'g', 8, 64),
+			strconv.FormatFloat(m.Energy.IONJ, 'g', 8, 64),
+			strconv.FormatFloat(m.Energy.MainNJ, 'g', 8, 64),
+			strconv.FormatFloat(m.AddBS, 'g', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeJSON dumps the sweep as a JSON array.
+func writeJSON(path string, ms []memexplore.Metrics) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ms)
+}
+
+// openOut opens path for writing, treating "-" as stdout.
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// loadKernel resolves the workload: a file (parsed nest syntax) when given,
+// else the named built-in benchmark.
+func loadKernel(name, file string) (*memexplore.Nest, error) {
+	if file == "" {
+		return memexplore.Kernel(name)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return memexplore.ParseKernelReader(f)
+}
+
+// buildOptions assembles exploration options from the geometry flags.
+func buildOptions(sizes, lines, assocs, tilings string, em float64, unoptimized bool) memexplore.Options {
+	opts := memexplore.DefaultOptions()
+	opts.CacheSizes = mustParseInts(sizes)
+	opts.LineSizes = mustParseInts(lines)
+	opts.Assocs = mustParseInts(assocs)
+	opts.Tilings = mustParseInts(tilings)
+	opts.OptimizeLayout = !unoptimized
+	part := opts.Energy.Main
+	part.EmNJ = em
+	part.Name = fmt.Sprintf("main memory (Em=%.2f nJ)", em)
+	opts.Energy = memexplore.DefaultEnergyParams(part)
+	return opts
+}
+
+// runProgram aggregates a multi-kernel program (§5): "mpeg" uses the
+// built-in decoder; otherwise the argument is a file of
+// "<kernel-name-or-nest-file> <trip>" lines.
+func runProgram(spec string, opts memexplore.Options) error {
+	ws, err := loadProgram(spec)
+	if err != nil {
+		return err
+	}
+	agg, perKernel, err := memexplore.Aggregate(ws, opts)
+	if err != nil {
+		return err
+	}
+	tbl := report.New("per-kernel minimum-energy configurations", "kernel", "trip", "config", "energy(nJ)", "cycles")
+	for _, k := range ws {
+		best, ok := memexplore.MinEnergy(perKernel[k.Nest.Name])
+		if !ok {
+			continue
+		}
+		tbl.MustAdd(k.Nest.Name, fmt.Sprintf("%d", k.Trip), best.Label(), report.F(best.EnergyNJ), report.F(best.Cycles))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if minE, ok := memexplore.MinEnergy(agg); ok {
+		fmt.Printf("program minimum energy: %s  (%.0f nJ, %.0f cycles)\n", minE.Label(), minE.EnergyNJ, minE.Cycles)
+	}
+	if minC, ok := memexplore.MinCycles(agg); ok {
+		fmt.Printf("program minimum cycles: %s  (%.0f cycles, %.0f nJ)\n", minC.Label(), minC.Cycles, minC.EnergyNJ)
+	}
+	return nil
+}
+
+// loadProgram parses a program specification.
+func loadProgram(spec string) ([]memexplore.WeightedKernel, error) {
+	if spec == "mpeg" {
+		return memexplore.MPEGDecoder(), nil
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, err
+	}
+	var ws []memexplore.WeightedKernel
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("program line %d: want \"<kernel|nestfile> <trip>\", got %q", ln+1, line)
+		}
+		trip, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("program line %d: bad trip %q: %w", ln+1, fields[1], err)
+		}
+		var n *memexplore.Nest
+		if strings.ContainsAny(fields[0], "./") {
+			f, err := os.Open(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			n, err = memexplore.ParseKernelReader(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			n, err = memexplore.Kernel(fields[0])
+			if err != nil {
+				return nil, err
+			}
+		}
+		ws = append(ws, memexplore.WeightedKernel{Nest: n, Trip: trip})
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("program %q lists no kernels", spec)
+	}
+	return ws, nil
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"memexplore"
+	"memexplore/internal/core"
+	"memexplore/internal/kernels"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("16, 32,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{16, 32, 64}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("parseInts[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+	if _, err := parseInts("a,b"); err == nil {
+		t.Error("bad integers should fail")
+	}
+	if _, err := parseInts(" ,, "); err == nil {
+		t.Error("empty list should fail")
+	}
+}
+
+func exploreSample(t *testing.T) []memexplore.Metrics {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.CacheSizes = []int{32, 64}
+	opts.LineSizes = []int{4, 8}
+	opts.Assocs = []int{1}
+	opts.Tilings = []int{1}
+	ms, err := core.Explore(kernels.MatAdd(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	ms := exploreSample(t)
+	var buf bytes.Buffer
+	// openOut with "-" writes to stdout; exercise the encoder directly by
+	// writing to a temp file instead.
+	dir := t.TempDir()
+	path := dir + "/out.csv"
+	if err := writeCSV(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(data), "\n")
+	if len(lines) != len(ms)+1 {
+		t.Fatalf("csv rows = %d, want %d", len(lines), len(ms)+1)
+	}
+	if !strings.HasPrefix(lines[0], "cache,line,assoc,tiling") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if cols := strings.Count(lines[1], ","); cols != strings.Count(lines[0], ",") {
+		t.Errorf("row/header column mismatch: %d vs %d", cols, strings.Count(lines[0], ","))
+	}
+	_ = buf
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	ms := exploreSample(t)
+	dir := t.TempDir()
+	path := dir + "/out.json"
+	if err := writeJSON(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(data), "[") {
+		t.Errorf("json should be an array: %q", data[:20])
+	}
+	if !strings.Contains(data, "\"CacheSize\": 32") {
+		t.Error("json missing CacheSize field")
+	}
+}
+
+func TestOpenOutErrors(t *testing.T) {
+	if _, _, err := openOut("/nonexistent-dir-xyz/file"); err == nil {
+		t.Error("uncreatable path should fail")
+	}
+	w, closeFn, err := openOut("-")
+	if err != nil || w == nil {
+		t.Fatalf("stdout open failed: %v", err)
+	}
+	closeFn()
+}
+
+// readFile is a tiny helper kept local to avoid importing os in the test
+// twice over.
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func TestLoadProgram(t *testing.T) {
+	ws, err := loadProgram("mpeg")
+	if err != nil || len(ws) != 9 {
+		t.Fatalf("mpeg program: %d kernels, %v", len(ws), err)
+	}
+	dir := t.TempDir()
+	path := dir + "/p.txt"
+	nest := dir + "/k.nest"
+	if err := os.WriteFile(nest, []byte("// k\nint8 a[8]\nfor i = 0, 7\na[i]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := "# program\ndequant 3\n" + nest + " 2\n"
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws, err = loadProgram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Trip != 3 || ws[1].Trip != 2 {
+		t.Fatalf("program = %+v", ws)
+	}
+	if ws[1].Nest.Name != "k" {
+		t.Errorf("nest-file kernel name = %q", ws[1].Nest.Name)
+	}
+
+	bad := dir + "/bad.txt"
+	for i, content := range []string{"", "dequant\n", "dequant x\n", "nope 3\n"} {
+		if err := os.WriteFile(bad, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadProgram(bad); err == nil {
+			t.Errorf("bad program %d should fail", i)
+		}
+	}
+	if _, err := loadProgram("/nonexistent-program-file"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestBuildOptions(t *testing.T) {
+	opts := buildOptions("32,64", "4", "1,2", "1", 2.31, true)
+	if len(opts.CacheSizes) != 2 || opts.CacheSizes[0] != 32 {
+		t.Errorf("sizes = %v", opts.CacheSizes)
+	}
+	if opts.OptimizeLayout {
+		t.Error("unoptimized flag ignored")
+	}
+	if opts.Energy.Main.EmNJ != 2.31 {
+		t.Errorf("Em = %v", opts.Energy.Main.EmNJ)
+	}
+	if err := opts.Validate(); err != nil {
+		t.Errorf("built options invalid: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section and prints them with REPRODUCED/DIVERGED findings.
+//
+// Usage:
+//
+//	paperfigs            # all exhibits, paper order
+//	paperfigs -only fig05
+//	paperfigs -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memexplore/internal/figures"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single exhibit by id (e.g. fig05, sec5)")
+	list := flag.Bool("list", false, "list exhibit ids and exit")
+	outDir := flag.String("out", "", "also write each exhibit to <dir>/<id>.txt")
+	flag.Parse()
+
+	entries := figures.All()
+	if *list {
+		for _, e := range entries {
+			fmt.Printf("%-9s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *only != "" {
+		e, err := figures.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		entries = []figures.Entry{e}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	diverged := 0
+	for _, e := range entries {
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "==== %s ====\n%s\n\n", res.ID, res.Title)
+		for _, tbl := range res.Tables {
+			if err := tbl.Render(&sb); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			sb.WriteByte('\n')
+		}
+		for _, f := range res.Findings {
+			fmt.Fprintln(&sb, "  *", f)
+			if strings.HasPrefix(f, "[DIVERGED] ") {
+				diverged++
+			}
+		}
+		fmt.Println(sb.String())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, res.ID+".txt")
+			if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if diverged > 0 {
+		fmt.Fprintf(os.Stderr, "%d finding(s) diverged from the paper\n", diverged)
+		os.Exit(1)
+	}
+}

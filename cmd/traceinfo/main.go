@@ -1,0 +1,88 @@
+// Command traceinfo profiles a memory-reference trace: access mix,
+// footprint, stride histogram, and the reuse-distance curve that predicts
+// fully associative miss rates at every capacity.
+//
+// Usage:
+//
+//	traceinfo -kernel compress
+//	traceinfo -trace refs.din -line 8
+//	cachesim -kernel sor -dump-trace - | traceinfo -trace -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memexplore"
+	"memexplore/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "din-format trace file ('-' for stdin)")
+		kernel    = flag.String("kernel", "", "profile this benchmark kernel's trace instead")
+		tiling    = flag.Int("tiling", 1, "tile the kernel's loops with this size")
+		line      = flag.Int("line", 8, "line size for the reuse-distance analysis")
+	)
+	flag.Parse()
+
+	tr, err := load(*traceFile, *kernel, *tiling)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(trace.Analyze(tr))
+
+	h, err := memexplore.ComputeReuse(tr, *line)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nreuse-distance analysis (line %d bytes):\n", *line)
+	fmt.Printf("working set     %d lines (%d bytes)\n", h.WorkingSet(), h.WorkingSet()*uint64(*line))
+	fmt.Printf("max distance    %d\n", h.MaxDistance())
+	fmt.Println("fully associative LRU miss rate by capacity:")
+	for _, capLines := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		fmt.Printf("  %4d lines (%6d B): %.4f\n", capLines, capLines**line, h.MissRate(capLines))
+	}
+	if knees := h.Knees(0.01); len(knees) > 0 {
+		fmt.Printf("working-set knees (≥1%% drop): %v lines\n", knees)
+	}
+}
+
+func load(traceFile, kernel string, tiling int) (*trace.Trace, error) {
+	switch {
+	case traceFile != "" && kernel != "":
+		return nil, fmt.Errorf("give either -trace or -kernel, not both")
+	case traceFile != "":
+		f := os.Stdin
+		if traceFile != "-" {
+			var err error
+			f, err = os.Open(traceFile)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+		}
+		return trace.ReadDinAuto(f)
+	case kernel != "":
+		n, err := memexplore.Kernel(kernel)
+		if err != nil {
+			return nil, err
+		}
+		if tiling > 1 {
+			n, err = memexplore.Tile(n, tiling)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return n.Generate(memexplore.SequentialLayout(n, 0))
+	default:
+		return nil, fmt.Errorf("give -trace <file> or -kernel <name>")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestLoadKernel(t *testing.T) {
+	tr, err := load("", "matadd", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 108 {
+		t.Errorf("trace = %d refs", tr.Len())
+	}
+	tiled, err := load("", "matadd", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.Len() != tr.Len() {
+		t.Errorf("tiling changed count: %d", tiled.Len())
+	}
+}
+
+func TestLoadDin(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/t.din"
+	if err := os.WriteFile(path, []byte("0 ff\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := load(path, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.At(0).Addr != 0xff {
+		t.Errorf("trace = %+v", tr.Refs())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := load("", "", 1); err == nil {
+		t.Error("no source should fail")
+	}
+	if _, err := load("x", "y", 1); err == nil {
+		t.Error("two sources should fail")
+	}
+	if _, err := load("", "nope", 1); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+}

@@ -1,0 +1,109 @@
+package memexplore_test
+
+import (
+	"fmt"
+	"log"
+
+	"memexplore"
+)
+
+// Example demonstrates the paper's core loop: sweep the configuration
+// space for a kernel and pick the minimum-energy cache.
+func Example() {
+	kern, err := memexplore.Kernel("matadd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := memexplore.DefaultOptions()
+	opts.CacheSizes = []int{16, 32, 64}
+	opts.LineSizes = []int{4, 8}
+	opts.Assocs = []int{1}
+	opts.Tilings = []int{1}
+	ms, err := memexplore.Explore(kern, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, _ := memexplore.MinEnergy(ms)
+	fmt.Println("minimum-energy configuration:", best.Label())
+	// Output:
+	// minimum-energy configuration: C16L4S1B1
+}
+
+// ExampleMinCacheSize shows the §3 analytical model on the paper's
+// Compress kernel: two equivalence classes of two lines each, so the
+// minimum cache is 4·L bytes.
+func ExampleMinCacheSize() {
+	kern, err := memexplore.Kernel("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range []int{4, 8} {
+		size, err := memexplore.MinCacheSize(kern, l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("L=%d: %d bytes\n", l, size)
+	}
+	// Output:
+	// L=4: 16 bytes
+	// L=8: 32 bytes
+}
+
+// ExampleOptimizeLayout reproduces the paper's §4.1 worked example: at a
+// 2-byte line and 4 sets, Compress's row stride is padded from 32 to 36
+// bytes, which eliminates its conflict misses.
+func ExampleOptimizeLayout() {
+	kern, err := memexplore.Kernel("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := memexplore.OptimizeLayout(kern, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("row stride:", plan.Layout["a"].StrideBytes[0])
+	// Output:
+	// row stride: 36
+}
+
+// ExampleSimulate runs a generated trace through the cache simulator and
+// reads the 3C miss classification.
+func ExampleSimulate() {
+	kern, err := memexplore.Kernel("matadd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := memexplore.GenerateTrace(kern, memexplore.SequentialLayout(kern, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := memexplore.Simulate(memexplore.NewCacheConfig(64, 8, 2), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accesses:", st.Accesses)
+	fmt.Println("conflict misses:", st.ConflictMisses) // a, b, c rows collide pairwise
+	// Output:
+	// accesses: 108
+	// conflict misses: 4
+}
+
+// ExampleParseKernel defines a kernel in the textual nest syntax.
+func ExampleParseKernel() {
+	kern, err := memexplore.ParseKernel(`
+// scale
+int8 v[128]
+for i = 0, 127
+  v[i], v[i] (w)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refs, err := kern.References()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(kern.Name, "issues", refs, "references")
+	// Output:
+	// scale issues 256 references
+}

@@ -1,0 +1,69 @@
+// Instruction-cache extension demo (paper §6): lower a kernel to its
+// instruction-fetch stream, explore I-cache configurations with the same
+// three metrics, and merge the instruction- and data-cache sweeps under a
+// shared on-chip capacity budget.
+//
+//	go run ./examples/icache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memexplore"
+)
+
+func main() {
+	kern, err := memexplore.Kernel("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := memexplore.DefaultCodeGen()
+
+	code, err := memexplore.CodeBytes(kern, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	itr, err := memexplore.InstructionTrace(kern, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s: %d bytes of code, %d instruction fetches per run\n\n",
+		kern.Name, code, itr.Len())
+
+	opts := memexplore.DefaultOptions()
+	opts.CacheSizes = []int{16, 32, 64, 128, 256}
+	opts.LineSizes = []int{4, 8, 16}
+	opts.Assocs = []int{1, 2}
+	opts.Tilings = []int{1}
+
+	instr, err := memexplore.ExploreICache(kern, gen, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := memexplore.Explore(kern, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	iBest, _ := memexplore.MinEnergy(instr)
+	dBest, _ := memexplore.MinEnergy(data)
+	fmt.Printf("independent optima: I-cache %s (%.0f nJ), D-cache %s (%.0f nJ)\n\n",
+		iBest.Label(), iBest.EnergyNJ, dBest.Label(), dBest.EnergyNJ)
+
+	fmt.Println("joint selection under an on-chip budget:")
+	fmt.Printf("  %-8s %-12s %-12s %14s\n", "budget", "I-cache", "D-cache", "energy(nJ)")
+	for _, budget := range []int{32, 48, 64, 96, 128, 256, 0} {
+		choice, ok := memexplore.ExploreJoint(instr, data, budget)
+		label := fmt.Sprintf("%d B", budget)
+		if budget == 0 {
+			label = "none"
+		}
+		if !ok {
+			fmt.Printf("  %-8s (no pair fits)\n", label)
+			continue
+		}
+		fmt.Printf("  %-8s %-12s %-12s %14.0f\n",
+			label, choice.Instr.Label(), choice.Data.Label(), choice.TotalEnergy())
+	}
+}

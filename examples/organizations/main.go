@@ -1,0 +1,86 @@
+// On-chip organization shoot-out: for one kernel, compare every memory
+// organization this repository models — single-level cache (the paper),
+// cache + victim buffer, two-level L1+L2, and a software-managed
+// scratchpad — on the paper's three metrics at comparable capacity.
+//
+//	go run ./examples/organizations [kernel]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"memexplore"
+)
+
+func main() {
+	name := "sor"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	kern, err := memexplore.Kernel(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := memexplore.DefaultEnergyParams(memexplore.SRAMCatalog()[0])
+	fmt.Printf("kernel %s — organizations at ≤ ~1 KiB on-chip (Em = %.2f nJ)\n\n",
+		kern.Name, params.Main.EmNJ)
+	fmt.Printf("%-28s %10s %12s %14s\n", "organization", "missrate", "cycles", "energy(nJ)")
+
+	// 1. Single-level cache, the paper's exploration.
+	opts := memexplore.DefaultOptions()
+	opts.CacheSizes = []int{16, 32, 64, 128, 256, 512, 1024}
+	single, err := memexplore.Explore(kern, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, _ := memexplore.MinEnergy(single)
+	fmt.Printf("%-28s %10.4f %12.0f %14.0f\n", "cache "+best.Label(), best.MissRate, best.Cycles, best.EnergyNJ)
+
+	// 2. Same sweep with a 4-line victim buffer.
+	vopts := opts
+	vopts.VictimLines = 4
+	victim, err := memexplore.Explore(kern, vopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vbest, _ := memexplore.MinEnergy(victim)
+	fmt.Printf("%-28s %10.4f %12.0f %14.0f\n", "cache+victim "+vbest.Label(), vbest.MissRate, vbest.Cycles, vbest.EnergyNJ)
+
+	// 3. Two-level hierarchy over the same trace.
+	tr, err := memexplore.GenerateTrace(kern, memexplore.SequentialLayout(kern, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	two, err := memexplore.ExploreHierarchy(tr, []int{16, 32, 64}, []int{128, 256, 512, 1024}, 8, 16, 1, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbest := two[0]
+	for _, m := range two {
+		if m.EnergyNJ < tbest.EnergyNJ {
+			tbest = m
+		}
+	}
+	fmt.Printf("%-28s %10.4f %12.0f %14.0f\n", "two-level "+tbest.Config.String(),
+		tbest.Stats.GlobalMissRate(), tbest.Cycles, tbest.EnergyNJ)
+
+	// 4. Scratchpad with greedy array assignment.
+	spm := memexplore.DefaultSPMParams(params.Main)
+	sms, err := memexplore.ExploreSPM(kern, []int{64, 128, 256, 512, 1024, 2048}, spm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sbest := sms[0]
+	for _, m := range sms {
+		if m.EnergyNJ < sbest.EnergyNJ {
+			sbest = m
+		}
+	}
+	fmt.Printf("%-28s %10.4f %12.0f %14.0f\n",
+		fmt.Sprintf("scratchpad %dB", sbest.CapacityBytes), 1-sbest.HitRate, sbest.Cycles, sbest.EnergyNJ)
+
+	fmt.Println("\n(miss rate for the scratchpad is its off-chip access fraction;")
+	fmt.Println(" the two-level row reports the global miss rate to main memory)")
+}

@@ -1,0 +1,62 @@
+// Quickstart: explore the data-cache design space for the paper's
+// Compress kernel and pick configurations under time and energy bounds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memexplore"
+)
+
+func main() {
+	// Every benchmark kernel of the paper is built in; see
+	// memexplore.KernelNames() for the registry.
+	kern, err := memexplore.Kernel("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(kern) // pseudo-code of the loop nest
+
+	// The analytical §3 model: how small can the cache be before reused
+	// data starts conflicting?
+	minSize, err := memexplore.MinCacheSize(kern, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytical minimum cache size at L=8: %d bytes\n\n", minSize)
+
+	// Sweep (T, L, S, B) with the paper's defaults: Cypress CY7C main
+	// memory (Em = 4.95 nJ) and the §4.1 off-chip assignment enabled.
+	opts := memexplore.DefaultOptions()
+	metrics, err := memexplore.Explore(kern, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d configurations\n", len(metrics))
+
+	minE, _ := memexplore.MinEnergy(metrics)
+	minC, _ := memexplore.MinCycles(metrics)
+	fmt.Printf("minimum energy: %-12s %10.0f nJ  %10.0f cycles\n", minE.Label(), minE.EnergyNJ, minE.Cycles)
+	fmt.Printf("minimum cycles: %-12s %10.0f nJ  %10.0f cycles\n", minC.Label(), minC.EnergyNJ, minC.Cycles)
+
+	// The paper's bounded queries: if time is the hard constraint, find
+	// the lowest-energy configuration that still meets it (and vice
+	// versa).
+	cycleBound := 1.5 * minC.Cycles
+	if m, ok := memexplore.MinEnergyUnderCycleBound(metrics, cycleBound); ok {
+		fmt.Printf("min energy under %.0f cycles: %s (%.0f nJ)\n", cycleBound, m.Label(), m.EnergyNJ)
+	}
+	energyBound := 1.5 * minE.EnergyNJ
+	if m, ok := memexplore.MinCyclesUnderEnergyBound(metrics, energyBound); ok {
+		fmt.Printf("min cycles under %.0f nJ: %s (%.0f cycles)\n", energyBound, m.Label(), m.Cycles)
+	}
+
+	// The full energy-time tradeoff.
+	fmt.Println("\ncycles/energy Pareto frontier:")
+	for _, m := range memexplore.ParetoFrontier(metrics) {
+		fmt.Printf("  %-12s %10.0f cycles  %10.0f nJ\n", m.Label(), m.Cycles, m.EnergyNJ)
+	}
+}

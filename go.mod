@@ -1,0 +1,3 @@
+module memexplore
+
+go 1.22

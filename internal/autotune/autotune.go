@@ -1,0 +1,152 @@
+// Package autotune closes the codesign loop the paper opens: §4.2 shows
+// that a loop transformation (tiling) belongs inside the memory
+// exploration, and §6 extends the exploration to instruction caches. This
+// package searches the product space — loop transformation variants
+// (interchange, unrolling; tiling is already a sweep dimension) × data
+// cache × instruction cache — for the minimum total energy under an
+// optional shared on-chip budget.
+//
+// Unrolling leaves the data-reference stream unchanged but shrinks the
+// instruction stream (fewer loop-control fetches) while growing the code
+// footprint; interchange reorders the data stream. Neither is universally
+// good, which is exactly why they belong in the searched space.
+package autotune
+
+import (
+	"fmt"
+
+	"memexplore/internal/core"
+	"memexplore/internal/icache"
+	"memexplore/internal/loopir"
+)
+
+// Variant is one transformed form of the kernel.
+type Variant struct {
+	// Name describes the transformation, e.g. "interchange+unroll4".
+	Name string
+	// Nest is the transformed kernel.
+	Nest *loopir.Nest
+	// Interchanged and Unroll record what was applied.
+	Interchanged bool
+	Unroll       int
+}
+
+// Result scores one variant: the best data-cache and instruction-cache
+// configurations found for it and their combined energy.
+type Result struct {
+	Variant Variant
+	// Data and Instr are the per-side minimum-energy configurations.
+	Data  core.Metrics
+	Instr core.Metrics
+	// TotalEnergyNJ = Data.EnergyNJ + Instr.EnergyNJ.
+	TotalEnergyNJ float64
+	// TotalSize is the combined on-chip capacity of the chosen pair.
+	TotalSize int
+	// CodeBytes is the variant's static code footprint.
+	CodeBytes int
+}
+
+// Config parameterizes the search.
+type Config struct {
+	// Options drives both cache sweeps (tiling inside Options.Tilings).
+	Options core.Options
+	// CodeGen is the §6 code model for the instruction side.
+	CodeGen icache.CodeGen
+	// Unrolls are the unroll factors to try (1 is always tried).
+	Unrolls []int
+	// TryInterchange also tries swapping the two outermost loops of
+	// 2-deep nests.
+	TryInterchange bool
+	// BudgetBytes bounds Data.CacheSize + Instr.CacheSize (0 = unbounded).
+	BudgetBytes int
+}
+
+// DefaultConfig returns a small, sensible search.
+func DefaultConfig() Config {
+	return Config{
+		Options:        core.DefaultOptions(),
+		CodeGen:        icache.DefaultCodeGen(),
+		Unrolls:        []int{1, 2, 4},
+		TryInterchange: true,
+	}
+}
+
+// variants enumerates the legal transformed forms.
+func variants(n *loopir.Nest, cfg Config) ([]Variant, error) {
+	base := []Variant{{Name: "baseline", Nest: n, Unroll: 1}}
+	if cfg.TryInterchange && n.Depth() == 2 {
+		if sw, err := loopir.Interchange(n, 0, 1); err == nil {
+			base = append(base, Variant{Name: "interchange", Nest: sw, Interchanged: true, Unroll: 1})
+		}
+	}
+	var out []Variant
+	for _, v := range base {
+		out = append(out, v)
+		for _, u := range cfg.Unrolls {
+			if u <= 1 {
+				continue
+			}
+			un, err := loopir.Unroll(v.Nest, u)
+			if err != nil {
+				continue // non-dividing factor or non-constant bounds
+			}
+			name := fmt.Sprintf("unroll%d", u)
+			if v.Interchanged {
+				name = "interchange+" + name
+			}
+			out = append(out, Variant{Name: name, Nest: un, Interchanged: v.Interchanged, Unroll: u})
+		}
+	}
+	return out, nil
+}
+
+// Tune scores every variant and returns them ordered as generated, plus
+// the index of the best (minimum total energy; ties break toward less
+// code). Variants for which no (D, I) pair fits the budget are skipped;
+// an error is returned only if none fits at all.
+func Tune(n *loopir.Nest, cfg Config) ([]Result, int, error) {
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, 0, err
+	}
+	vs, err := variants(n, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Result
+	best := -1
+	for _, v := range vs {
+		data, err := core.Explore(v.Nest, cfg.Options)
+		if err != nil {
+			return nil, 0, fmt.Errorf("autotune: data sweep for %s: %w", v.Name, err)
+		}
+		instr, err := icache.Explore(v.Nest, cfg.CodeGen, cfg.Options)
+		if err != nil {
+			return nil, 0, fmt.Errorf("autotune: instruction sweep for %s: %w", v.Name, err)
+		}
+		choice, ok := icache.ExploreJoint(instr, data, cfg.BudgetBytes)
+		if !ok {
+			continue
+		}
+		code, err := icache.CodeBytes(v.Nest, cfg.CodeGen)
+		if err != nil {
+			return nil, 0, err
+		}
+		r := Result{
+			Variant:       v,
+			Data:          choice.Data,
+			Instr:         choice.Instr,
+			TotalEnergyNJ: choice.TotalEnergy(),
+			TotalSize:     choice.TotalSize(),
+			CodeBytes:     code,
+		}
+		out = append(out, r)
+		if best < 0 || r.TotalEnergyNJ < out[best].TotalEnergyNJ ||
+			(r.TotalEnergyNJ == out[best].TotalEnergyNJ && r.CodeBytes < out[best].CodeBytes) {
+			best = len(out) - 1
+		}
+	}
+	if best < 0 {
+		return nil, 0, fmt.Errorf("autotune: no variant fits the budget of %d bytes", cfg.BudgetBytes)
+	}
+	return out, best, nil
+}

@@ -1,0 +1,153 @@
+package autotune
+
+import (
+	"testing"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/core"
+	"memexplore/internal/kernels"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Options.CacheSizes = []int{32, 64, 128}
+	cfg.Options.LineSizes = []int{4, 8}
+	cfg.Options.Assocs = []int{1, 2}
+	cfg.Options.Tilings = []int{1, 4}
+	return cfg
+}
+
+func TestVariantsEnumeration(t *testing.T) {
+	cfg := smallConfig()
+	vs, err := variants(kernels.Transpose(32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.Name] = true
+		if err := v.Nest.Validate(); err != nil {
+			t.Errorf("variant %s invalid: %v", v.Name, err)
+		}
+	}
+	for _, want := range []string{"baseline", "interchange", "unroll2", "unroll4", "interchange+unroll2"} {
+		if !names[want] {
+			t.Errorf("missing variant %q (have %v)", want, names)
+		}
+	}
+	// 1D kernels get no interchange.
+	vs, err = variants(kernels.MPEGAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.Interchanged {
+			t.Errorf("1D kernel should not be interchanged: %s", v.Name)
+		}
+	}
+}
+
+func TestTuneTranspose(t *testing.T) {
+	cfg := smallConfig()
+	results, best, err := Tune(kernels.Transpose(32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if best < 0 || best >= len(results) {
+		t.Fatalf("best index %d out of range", best)
+	}
+	for _, r := range results {
+		if r.TotalEnergyNJ < results[best].TotalEnergyNJ {
+			t.Errorf("Tune missed a better variant: %s (%v < %v)",
+				r.Variant.Name, r.TotalEnergyNJ, results[best].TotalEnergyNJ)
+		}
+		if r.TotalEnergyNJ != r.Data.EnergyNJ+r.Instr.EnergyNJ {
+			t.Errorf("%s: total out of sync", r.Variant.Name)
+		}
+		if r.CodeBytes <= 0 {
+			t.Errorf("%s: code bytes %d", r.Variant.Name, r.CodeBytes)
+		}
+	}
+	// Unrolling must reduce the instruction-side energy of the best
+	// unrolled variant versus the baseline (fewer loop-control fetches).
+	var baseline, unrolled *Result
+	for i := range results {
+		switch results[i].Variant.Name {
+		case "baseline":
+			baseline = &results[i]
+		case "unroll4":
+			unrolled = &results[i]
+		}
+	}
+	if baseline == nil || unrolled == nil {
+		t.Fatal("expected baseline and unroll4 results")
+	}
+	// Unrolling removes loop-control fetches (fewer instruction accesses)
+	// but grows the code footprint — so the fetch COUNT must drop while
+	// the energy may go either way (a bigger I-cache costs more per
+	// access). That two-sided trade is what Tune searches.
+	if unrolled.Instr.Accesses >= baseline.Instr.Accesses {
+		t.Errorf("unroll4 fetches %d should be below baseline %d",
+			unrolled.Instr.Accesses, baseline.Instr.Accesses)
+	}
+	if unrolled.CodeBytes <= baseline.CodeBytes {
+		t.Errorf("unroll4 code %d should exceed baseline %d",
+			unrolled.CodeBytes, baseline.CodeBytes)
+	}
+	// Untiled (B=1), the unrolled data stream is identical to the
+	// baseline's, so the fixed-point data metrics must match exactly.
+	// (With tiling in the sweep they may differ: the stepped inner loop
+	// of an unrolled nest is not tileable.)
+	pointCfg := smallConfig()
+	pointCfg.Options.Tilings = []int{1}
+	eBase, err := core.NewExplorer(kernels.Transpose(32), pointCfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eUn, err := core.NewExplorer(unrolled.Variant.Nest, pointCfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPoint := cachesim.DefaultConfig(64, 8, 1)
+	mBase, err := eBase.Evaluate(cfgPoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mUn, err := eUn.Evaluate(cfgPoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mBase.Misses != mUn.Misses {
+		t.Errorf("untiled unroll changed the data stream: %d vs %d misses", mUn.Misses, mBase.Misses)
+	}
+}
+
+func TestTuneBudget(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BudgetBytes = 96 // forces small pairs (32+64)
+	results, best, err := Tune(kernels.Compress(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.TotalSize > 96 {
+			t.Errorf("%s: pair size %d exceeds budget", r.Variant.Name, r.TotalSize)
+		}
+	}
+	_ = best
+	cfg.BudgetBytes = 16 // nothing fits (min pair is 32+32... below both minimums)
+	if _, _, err := Tune(kernels.Compress(), cfg); err == nil {
+		t.Error("impossible budget should fail")
+	}
+}
+
+func TestTuneValidatesOptions(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Options = core.Options{}
+	if _, _, err := Tune(kernels.Compress(), cfg); err == nil {
+		t.Error("invalid options should fail")
+	}
+}

@@ -1,0 +1,138 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memexplore/internal/trace"
+)
+
+func TestGrayKnownValues(t *testing.T) {
+	// The classic 3-bit Gray sequence.
+	want := []uint64{0, 1, 3, 2, 6, 7, 5, 4}
+	for v, g := range want {
+		if got := ToGray(uint64(v)); got != g {
+			t.Errorf("ToGray(%d) = %d, want %d", v, got, g)
+		}
+	}
+}
+
+func TestQuickGrayRoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return FromGray(ToGray(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: consecutive integers differ by exactly one bit in Gray code —
+// the property the paper's Add_bs assumption rests on.
+func TestQuickGrayAdjacentSingleBit(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == ^uint64(0) {
+			v--
+		}
+		d := ToGray(v) ^ ToGray(v+1)
+		return d != 0 && d&(d-1) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchCounterSequential(t *testing.T) {
+	c := NewSwitchCounter(Gray)
+	for v := uint64(0); v < 100; v++ {
+		c.Drive(v)
+	}
+	// 99 transitions between consecutive values: exactly one switch each.
+	if got := c.Switches(); got != 99 {
+		t.Errorf("gray sequential switches = %d, want 99", got)
+	}
+	if got := c.Drives(); got != 100 {
+		t.Errorf("drives = %d, want 100", got)
+	}
+	if got := c.PerDrive(); got != 0.99 {
+		t.Errorf("per-drive = %v, want 0.99", got)
+	}
+}
+
+func TestSwitchCounterBinaryWorseOnSequential(t *testing.T) {
+	g := NewSwitchCounter(Gray)
+	b := NewSwitchCounter(Binary)
+	for v := uint64(0); v < 1024; v++ {
+		g.Drive(v)
+		b.Drive(v)
+	}
+	if g.Switches() >= b.Switches() {
+		t.Errorf("gray (%d) should switch less than binary (%d) on a sequential walk",
+			g.Switches(), b.Switches())
+	}
+	// Binary counting 0..2^k-1 switches 2^k - k - ... ; exact total for
+	// 0..n-1 is sum of popcount(v^(v+1)) = 2n - popcount-ish; just check a
+	// known small case instead.
+	b2 := NewSwitchCounter(Binary)
+	for _, v := range []uint64{0, 1, 2, 3} {
+		b2.Drive(v)
+	}
+	// 0->1: 1 switch, 1->2: 2 switches, 2->3: 1 switch.
+	if got := b2.Switches(); got != 4 {
+		t.Errorf("binary 0..3 switches = %d, want 4", got)
+	}
+}
+
+func TestSwitchCounterReset(t *testing.T) {
+	c := NewSwitchCounter(Gray)
+	c.Drive(0)
+	c.Drive(1)
+	c.Reset()
+	if c.Switches() != 0 || c.Drives() != 0 || c.PerDrive() != 0 {
+		t.Errorf("after reset: %d switches %d drives", c.Switches(), c.Drives())
+	}
+	c.Drive(7) // first drive after reset must not count switches
+	if c.Switches() != 0 {
+		t.Errorf("first drive after reset switched %d", c.Switches())
+	}
+}
+
+func TestMeasureTrace(t *testing.T) {
+	tr := trace.Sequential(0, 64, 1)
+	act := MeasureTrace(tr, Gray)
+	if act.References != 64 {
+		t.Errorf("references = %d", act.References)
+	}
+	if act.AddrSwitches != 63 {
+		t.Errorf("switches = %d, want 63", act.AddrSwitches)
+	}
+	if got, want := act.AddBS(), 63.0/64.0; got != want {
+		t.Errorf("AddBS = %v, want %v", got, want)
+	}
+	if (Activity{}).AddBS() != 0 {
+		t.Error("empty activity should report 0")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if Gray.String() != "gray" || Binary.String() != "binary" {
+		t.Error("encoding names wrong")
+	}
+}
+
+// Property: total switches measured over a trace equals the sum of Hamming
+// distances of consecutive encoded addresses.
+func TestQuickMeasureMatchesPairwise(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		tr := trace.New(len(addrs))
+		for _, a := range addrs {
+			tr.Append(trace.Ref{Addr: a})
+		}
+		act := MeasureTrace(tr, Binary)
+		var want uint64
+		for i := 1; i < len(addrs); i++ {
+			want += uint64(popcount64(addrs[i] ^ addrs[i-1]))
+		}
+		return act.AddrSwitches == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,388 @@
+package cachesim
+
+import (
+	"fmt"
+	"io"
+
+	"memexplore/internal/trace"
+)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse is a monotonically increasing timestamp for LRU; fillTime is
+	// the fill timestamp for FIFO.
+	lastUse  uint64
+	fillTime uint64
+}
+
+// Cache is a single-level cache simulator instance. It is not safe for
+// concurrent use; create one Cache per goroutine.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	clock uint64
+	stats Stats
+
+	// rngState drives the Random replacement policy (xorshift64).
+	rngState uint64
+
+	// seen tracks every line address ever touched, for compulsory-miss
+	// classification. shadow is a fully-associative LRU cache of the same
+	// capacity, for capacity-vs-conflict classification. classify3C can be
+	// disabled to save time/memory in wide sweeps.
+	classify3C bool
+	seen       map[uint64]struct{}
+	shadow     *lruShadow
+
+	// victim is the optional victim buffer (Config.VictimLines > 0),
+	// ordered most recently inserted first.
+	victim []victimEntry
+}
+
+type victimEntry struct {
+	lineAddr uint64
+	dirty    bool
+}
+
+// New builds a cache for the given configuration with 3C classification
+// enabled.
+func New(cfg Config) (*Cache, error) {
+	return newCache(cfg, true)
+}
+
+// NewFast builds a cache without 3C miss classification; Stats will report
+// zero for the per-class counters. Useful in large exploration sweeps.
+func NewFast(cfg Config) (*Cache, error) {
+	return newCache(cfg, false)
+}
+
+func newCache(cfg Config, classify bool) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:        cfg,
+		sets:       make([][]line, cfg.NumSets()),
+		rngState:   0x9e3779b97f4a7c15,
+		classify3C: classify,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	if classify {
+		c.seen = make(map[uint64]struct{})
+		c.shadow = newLRUShadow(cfg.NumLines())
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears all cache contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+	c.rngState = 0x9e3779b97f4a7c15
+	c.victim = nil
+	if c.classify3C {
+		c.seen = make(map[uint64]struct{})
+		c.shadow = newLRUShadow(c.cfg.NumLines())
+	}
+}
+
+// AccessResult reports the outcome of a single reference.
+type AccessResult struct {
+	Hit bool
+	// Class is NotMiss on a hit, otherwise the 3C class of the (first)
+	// missing line. Caches built with NewFast do not classify; their
+	// misses all report Capacity and the per-class Stats counters stay 0.
+	Class MissClass
+	// LinesTouched is how many distinct cache lines the reference spans
+	// (>1 only for references that straddle a line boundary).
+	LinesTouched int
+}
+
+// Access simulates one reference and updates statistics. A reference that
+// spans multiple lines counts as one access; it is a hit only if every
+// spanned line hits.
+func (c *Cache) Access(r trace.Ref) AccessResult {
+	c.clock++
+	first := c.cfg.LineAddr(r.Addr)
+	last := c.cfg.LineAddr(r.LastByte())
+
+	res := AccessResult{Hit: true, Class: NotMiss, LinesTouched: int(last-first) + 1}
+	for la := first; la <= last; la++ {
+		hit, class := c.accessLine(la, r.Kind)
+		if !hit && res.Hit {
+			res.Hit = false
+			res.Class = class
+		}
+	}
+
+	c.stats.Accesses++
+	switch r.Kind {
+	case trace.Read:
+		c.stats.Reads++
+	case trace.Write:
+		c.stats.Writes++
+	case trace.Fetch:
+		c.stats.Fetches++
+	}
+	if res.Hit {
+		c.stats.Hits++
+		switch r.Kind {
+		case trace.Read:
+			c.stats.ReadHits++
+		case trace.Write:
+			c.stats.WriteHits++
+		}
+	} else {
+		c.stats.Misses++
+		switch r.Kind {
+		case trace.Read:
+			c.stats.ReadMisses++
+		case trace.Write:
+			c.stats.WriteMisses++
+		}
+		switch res.Class {
+		case Compulsory:
+			c.stats.CompulsoryMisses++
+		case Capacity:
+			c.stats.CapacityMisses++
+		case Conflict:
+			c.stats.ConflictMisses++
+		}
+	}
+	return res
+}
+
+// accessLine performs the per-line lookup/fill and returns whether the line
+// hit and, if not, its 3C class.
+func (c *Cache) accessLine(lineAddr uint64, kind trace.Kind) (bool, MissClass) {
+	setIdx := lineAddr & uint64(c.cfg.NumSets()-1)
+	tag := lineAddr >> uint(c.cfg.IndexBits())
+	set := c.sets[setIdx]
+
+	// Shadow structures are updated on every line touch so that the
+	// classification reflects the same reference stream.
+	var shadowHit, everSeen bool
+	if c.classify3C {
+		_, everSeen = c.seen[lineAddr]
+		c.seen[lineAddr] = struct{}{}
+		shadowHit = c.shadow.touch(lineAddr)
+	}
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			if kind == trace.Write {
+				if c.cfg.WriteBack {
+					set[i].dirty = true
+				} else {
+					c.stats.WriteThroughs++
+				}
+			}
+			return true, NotMiss
+		}
+	}
+
+	// Main-cache miss: try the victim buffer before declaring a miss.
+	if c.cfg.VictimLines > 0 {
+		if entry, ok := c.victimTake(lineAddr); ok {
+			c.stats.VictimHits++
+			c.installLine(set, setIdx, tag, kind, entry.dirty)
+			return true, NotMiss
+		}
+	}
+
+	// Miss. Classify first.
+	class := Conflict
+	if c.classify3C {
+		if !everSeen {
+			class = Compulsory
+		} else if !shadowHit {
+			class = Capacity
+		}
+	} else {
+		class = Capacity // aggregate-only placeholder; per-class stats stay 0
+	}
+
+	if kind == trace.Write && !c.cfg.WriteAllocate {
+		// Write miss without allocation: goes straight to memory.
+		c.stats.WriteThroughs++
+		return false, class
+	}
+
+	c.installLine(set, setIdx, tag, kind, false)
+	if kind == trace.Write && !c.cfg.WriteBack {
+		c.stats.WriteThroughs++
+	}
+	c.stats.LinesFetched++
+	return false, class
+}
+
+// installLine fills the line with the given tag into the set, evicting a
+// victim way if needed. wasDirty carries dirtiness recovered from the
+// victim buffer.
+func (c *Cache) installLine(set []line, setIdx, tag uint64, kind trace.Kind, wasDirty bool) {
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.pickVictim(set)
+	}
+	if set[victim].valid {
+		c.evictLine(set[victim], setIdx)
+	}
+	set[victim] = line{
+		tag:      tag,
+		valid:    true,
+		dirty:    wasDirty || (kind == trace.Write && c.cfg.WriteBack),
+		lastUse:  c.clock,
+		fillTime: c.clock,
+	}
+}
+
+// evictLine disposes of an evicted main-cache line: into the victim buffer
+// when one is configured, else straight to memory (write-back if dirty).
+func (c *Cache) evictLine(l line, setIdx uint64) {
+	if c.cfg.VictimLines == 0 {
+		if l.dirty {
+			c.stats.WriteBacks++
+		}
+		return
+	}
+	lineAddr := l.tag<<uint(c.cfg.IndexBits()) | setIdx
+	c.victimInsert(victimEntry{lineAddr: lineAddr, dirty: l.dirty})
+}
+
+// victimTake removes and returns the buffer entry for lineAddr.
+func (c *Cache) victimTake(lineAddr uint64) (victimEntry, bool) {
+	for i, e := range c.victim {
+		if e.lineAddr == lineAddr {
+			c.victim = append(c.victim[:i], c.victim[i+1:]...)
+			return e, true
+		}
+	}
+	return victimEntry{}, false
+}
+
+// victimInsert pushes an entry, evicting the oldest beyond capacity.
+func (c *Cache) victimInsert(e victimEntry) {
+	c.victim = append([]victimEntry{e}, c.victim...)
+	if len(c.victim) > c.cfg.VictimLines {
+		dropped := c.victim[len(c.victim)-1]
+		c.victim = c.victim[:len(c.victim)-1]
+		if dropped.dirty {
+			c.stats.WriteBacks++
+		}
+	}
+}
+
+func (c *Cache) pickVictim(set []line) int {
+	switch c.cfg.Replacement {
+	case LRU:
+		v, best := 0, set[0].lastUse
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < best {
+				v, best = i, set[i].lastUse
+			}
+		}
+		return v
+	case FIFO:
+		v, best := 0, set[0].fillTime
+		for i := 1; i < len(set); i++ {
+			if set[i].fillTime < best {
+				v, best = i, set[i].fillTime
+			}
+		}
+		return v
+	case Random:
+		// xorshift64
+		x := c.rngState
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		c.rngState = x
+		return int(x % uint64(len(set)))
+	default:
+		return 0
+	}
+}
+
+// Run drains a Source through the cache and returns the statistics
+// accumulated over the whole run (including any prior accesses).
+func (c *Cache) Run(src trace.Source) (Stats, error) {
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return c.stats, nil
+		}
+		if err != nil {
+			return c.stats, fmt.Errorf("cachesim: reading trace: %w", err)
+		}
+		c.Access(r)
+	}
+}
+
+// RunTrace simulates an in-memory trace on a fresh cache of the given
+// configuration and returns the statistics.
+func RunTrace(cfg Config, tr *trace.Trace) (Stats, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return c.Run(tr.Reader())
+}
+
+// RunTraceFast is RunTrace without 3C classification.
+func RunTraceFast(cfg Config, tr *trace.Trace) (Stats, error) {
+	c, err := NewFast(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return c.Run(tr.Reader())
+}
+
+// Contains reports whether the line holding addr is currently resident.
+// Intended for tests and invariant checks.
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := c.cfg.LineAddr(addr)
+	set := c.sets[lineAddr&uint64(c.cfg.NumSets()-1)]
+	tag := lineAddr >> uint(c.cfg.IndexBits())
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ResidentLines returns the number of valid lines currently in the cache.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

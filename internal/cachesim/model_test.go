@@ -1,0 +1,190 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memexplore/internal/trace"
+)
+
+// refModel is an intentionally naive, obviously-correct set-associative LRU
+// cache used to cross-check the optimized simulator: each set is a slice of
+// line addresses ordered most-recently-used first.
+type refModel struct {
+	cfg  Config
+	sets [][]uint64
+}
+
+func newRefModel(cfg Config) *refModel {
+	return &refModel{cfg: cfg, sets: make([][]uint64, cfg.NumSets())}
+}
+
+func (m *refModel) access(addr uint64) bool {
+	la := m.cfg.LineAddr(addr)
+	si := la & uint64(m.cfg.NumSets()-1)
+	set := m.sets[si]
+	for i, resident := range set {
+		if resident == la {
+			// Move to front.
+			copy(set[1:i+1], set[0:i])
+			set[0] = la
+			return true
+		}
+	}
+	// Miss: insert at front, trim to associativity.
+	set = append([]uint64{la}, set...)
+	if len(set) > m.cfg.Assoc {
+		set = set[:m.cfg.Assoc]
+	}
+	m.sets[si] = set
+	return false
+}
+
+// TestQuickLRUMatchesReferenceModel drives random traces through both the
+// simulator and the naive model across a range of geometries and demands
+// identical per-access hit/miss outcomes.
+func TestQuickLRUMatchesReferenceModel(t *testing.T) {
+	geometries := []Config{
+		DefaultConfig(16, 4, 1),
+		DefaultConfig(32, 4, 2),
+		DefaultConfig(64, 8, 4),
+		DefaultConfig(64, 8, 8),
+		DefaultConfig(256, 16, 2),
+		DefaultConfig(1024, 32, 8),
+	}
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRefs := int(n%2000) + 1
+		tr := trace.Random(rng, 0, 4096, nRefs)
+		for _, cfg := range geometries {
+			c, err := New(cfg)
+			if err != nil {
+				return false
+			}
+			m := newRefModel(cfg)
+			for i := 0; i < tr.Len(); i++ {
+				r := tr.At(i)
+				got := c.Access(r).Hit
+				want := m.access(r.Addr)
+				if got != want {
+					t.Logf("cfg %v ref %d addr %#x: sim hit=%v model hit=%v", cfg, i, r.Addr, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStatsInvariants checks the accounting identities that must hold
+// for any trace and any configuration:
+//
+//	hits + misses == accesses
+//	compulsory + capacity + conflict == misses
+//	reads + writes + fetches == accesses
+//	residentLines <= numLines
+func TestQuickStatsInvariants(t *testing.T) {
+	f := func(seed int64, sizeExp, lineExp, assocExp uint8) bool {
+		size := 16 << (sizeExp % 7) // 16..1024
+		line := 4 << (lineExp % 4)  // 4..32
+		if line > size {
+			line = size
+		}
+		maxAssoc := size / line
+		assoc := 1 << (assocExp % 4) // 1..8
+		if assoc > maxAssoc {
+			assoc = maxAssoc
+		}
+		cfg := DefaultConfig(size, line, assoc)
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.New(600)
+		for i := 0; i < 600; i++ {
+			k := trace.Read
+			if rng.Intn(3) == 0 {
+				k = trace.Write
+			}
+			tr.Append(trace.Ref{Addr: uint64(rng.Intn(8192)), Kind: k})
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Logf("New(%v): %v", cfg, err)
+			return false
+		}
+		st, err := c.Run(tr.Reader())
+		if err != nil {
+			return false
+		}
+		if st.Hits+st.Misses != st.Accesses {
+			return false
+		}
+		if st.CompulsoryMisses+st.CapacityMisses+st.ConflictMisses != st.Misses {
+			return false
+		}
+		if st.Reads+st.Writes+st.Fetches != st.Accesses {
+			return false
+		}
+		if st.ReadHits+st.ReadMisses != st.Reads {
+			return false
+		}
+		if st.WriteHits+st.WriteMisses != st.Writes {
+			return false
+		}
+		if c.ResidentLines() > cfg.NumLines() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMonotoneAssociativity: for a fixed size and line size, increasing
+// associativity with LRU never increases the miss count on any trace
+// (inclusion property of LRU within equal capacity does not hold in general
+// across set mappings, but conflict misses cannot increase when sets merge
+// under LRU for power-of-two geometries driven by the same stream — we
+// assert the weaker, always-true property that the fully associative cache
+// has the minimum conflict-miss count: zero).
+func TestQuickFullyAssociativeZeroConflicts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.Random(rng, 0, 2048, 800)
+		cfg := DefaultConfig(128, 8, 16) // fully associative: 16 lines
+		st, err := RunTrace(cfg, tr)
+		if err != nil {
+			return false
+		}
+		return st.ConflictMisses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowLRU(t *testing.T) {
+	s := newLRUShadow(2)
+	if s.touch(1) {
+		t.Error("first touch of 1 should miss")
+	}
+	if s.touch(2) {
+		t.Error("first touch of 2 should miss")
+	}
+	if !s.touch(1) {
+		t.Error("1 should be resident")
+	}
+	if s.touch(3) {
+		t.Error("first touch of 3 should miss")
+	}
+	// LRU of {1(recent),2} is 2 -> evicted by 3.
+	if s.touch(2) {
+		t.Error("2 should have been evicted")
+	}
+	if s.len() != 2 {
+		t.Errorf("len = %d, want 2", s.len())
+	}
+}

@@ -1,0 +1,88 @@
+package cachesim
+
+// lruShadow is a fully associative cache of line addresses with strict LRU
+// replacement, used only to split non-compulsory misses into capacity
+// (would miss even fully associative) versus conflict (mapping artifact).
+// It is a map plus an intrusive doubly linked list; both operations are
+// O(1).
+type lruShadow struct {
+	capacity int
+	nodes    map[uint64]*shadowNode
+	head     *shadowNode // most recently used
+	tail     *shadowNode // least recently used
+}
+
+type shadowNode struct {
+	lineAddr   uint64
+	prev, next *shadowNode
+}
+
+func newLRUShadow(capacity int) *lruShadow {
+	return &lruShadow{
+		capacity: capacity,
+		nodes:    make(map[uint64]*shadowNode, capacity+1),
+	}
+}
+
+// touch records an access to lineAddr and reports whether it was resident
+// (a fully-associative hit). On a miss the LRU entry is evicted if the
+// shadow is full.
+func (s *lruShadow) touch(lineAddr uint64) bool {
+	if n, ok := s.nodes[lineAddr]; ok {
+		s.moveToFront(n)
+		return true
+	}
+	n := &shadowNode{lineAddr: lineAddr}
+	s.nodes[lineAddr] = n
+	s.pushFront(n)
+	if len(s.nodes) > s.capacity {
+		s.evictLRU()
+	}
+	return false
+}
+
+func (s *lruShadow) pushFront(n *shadowNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *lruShadow) unlink(n *shadowNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *lruShadow) moveToFront(n *shadowNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+func (s *lruShadow) evictLRU() {
+	if s.tail == nil {
+		return
+	}
+	victim := s.tail
+	s.unlink(victim)
+	delete(s.nodes, victim.lineAddr)
+}
+
+// len reports the number of resident lines (for tests).
+func (s *lruShadow) len() int { return len(s.nodes) }

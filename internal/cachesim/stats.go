@@ -1,0 +1,121 @@
+package cachesim
+
+import "fmt"
+
+// MissClass categorizes a miss under the 3C model (Hill): a compulsory miss
+// is the first touch of a line ever; a capacity miss would also miss in a
+// fully associative LRU cache of the same total size; the remainder are
+// conflict misses — the kind the paper's off-chip assignment (§4.1)
+// eliminates.
+type MissClass int
+
+const (
+	// NotMiss marks an access that hit.
+	NotMiss MissClass = iota
+	// Compulsory is a cold/first-reference miss.
+	Compulsory
+	// Capacity is a miss that a fully associative cache of equal size
+	// would also incur.
+	Capacity
+	// Conflict is a miss caused purely by limited associativity / mapping.
+	Conflict
+)
+
+// String returns the class name.
+func (m MissClass) String() string {
+	switch m {
+	case NotMiss:
+		return "hit"
+	case Compulsory:
+		return "compulsory"
+	case Capacity:
+		return "capacity"
+	case Conflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("MissClass(%d)", int(m))
+	}
+}
+
+// Stats accumulates simulation results.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+
+	Reads       uint64
+	ReadHits    uint64
+	ReadMisses  uint64
+	Writes      uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fetches     uint64
+
+	// 3C decomposition of Misses.
+	CompulsoryMisses uint64
+	CapacityMisses   uint64
+	ConflictMisses   uint64
+
+	// Traffic: lines fetched from the next level and dirty lines written
+	// back (write-back mode) or words written through (write-through mode
+	// counts each write as one WriteThrough).
+	LinesFetched  uint64
+	WriteBacks    uint64
+	WriteThroughs uint64
+
+	// VictimHits counts main-cache misses recovered from the victim
+	// buffer (counted within Hits, not Misses).
+	VictimHits uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an empty run.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRate returns Hits/Accesses, or 0 for an empty run.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// ReadMissRate returns ReadMisses/Reads, or 0 if there were no reads.
+func (s Stats) ReadMissRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses) / float64(s.Reads)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Reads += o.Reads
+	s.ReadHits += o.ReadHits
+	s.ReadMisses += o.ReadMisses
+	s.Writes += o.Writes
+	s.WriteHits += o.WriteHits
+	s.WriteMisses += o.WriteMisses
+	s.Fetches += o.Fetches
+	s.CompulsoryMisses += o.CompulsoryMisses
+	s.CapacityMisses += o.CapacityMisses
+	s.ConflictMisses += o.ConflictMisses
+	s.LinesFetched += o.LinesFetched
+	s.WriteBacks += o.WriteBacks
+	s.WriteThroughs += o.WriteThroughs
+	s.VictimHits += o.VictimHits
+}
+
+// String summarizes the statistics in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("accesses=%d hits=%d misses=%d missrate=%.4f (comp=%d cap=%d conf=%d)",
+		s.Accesses, s.Hits, s.Misses, s.MissRate(),
+		s.CompulsoryMisses, s.CapacityMisses, s.ConflictMisses)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"memexplore/internal/loopir"
+	"memexplore/internal/trace"
+)
+
+// WeightedKernel pairs a kernel with its invocation count in the composite
+// program — the trip(k) of the paper's §5 formulas.
+type WeightedKernel struct {
+	Nest *loopir.Nest
+	Trip int64
+}
+
+// Aggregate implements the §5 whole-program evaluation: every kernel is
+// explored over the same configuration space, and for each configuration
+// the program-level metrics are
+//
+//	MISS_R = Σ mr(k)·trip(k) / Σ trip(k)
+//	CYCLES = Σ C(k)·trip(k)
+//	ENERGY = Σ E(k)·trip(k)
+//
+// Each kernel invocation is simulated cold (the paper evaluates kernels
+// independently and composes by trip count; inter-kernel cache reuse is
+// outside its model). The per-kernel sweeps are returned alongside the
+// aggregate so callers can reproduce Figure 10's per-kernel optima.
+func Aggregate(kernels []WeightedKernel, opts Options) (program []Metrics, perKernel map[string][]Metrics, err error) {
+	if len(kernels) == 0 {
+		return nil, nil, fmt.Errorf("core: Aggregate needs at least one kernel")
+	}
+	var totalTrip int64
+	for _, k := range kernels {
+		if k.Trip <= 0 {
+			return nil, nil, fmt.Errorf("core: kernel %q has non-positive trip %d", k.Nest.Name, k.Trip)
+		}
+		totalTrip += k.Trip
+	}
+
+	perKernel = make(map[string][]Metrics, len(kernels))
+	for _, k := range kernels {
+		ms, err := Explore(k.Nest, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: exploring %q: %w", k.Nest.Name, err)
+		}
+		perKernel[k.Nest.Name] = ms
+	}
+
+	// All kernels share the options, hence the same configuration space.
+	first := perKernel[kernels[0].Nest.Name]
+	program = make([]Metrics, len(first))
+	for i := range first {
+		agg := Metrics{
+			CacheSize: first[i].CacheSize,
+			LineSize:  first[i].LineSize,
+			Assoc:     first[i].Assoc,
+			Tiling:    first[i].Tiling,
+			Optimized: first[i].Optimized,
+		}
+		var missAcc float64
+		for _, k := range kernels {
+			m := perKernel[k.Nest.Name][i]
+			if m.CacheSize != agg.CacheSize || m.LineSize != agg.LineSize ||
+				m.Assoc != agg.Assoc || m.Tiling != agg.Tiling {
+				return nil, nil, fmt.Errorf("core: configuration spaces diverged between kernels at index %d", i)
+			}
+			w := float64(k.Trip)
+			missAcc += m.MissRate * w
+			agg.Cycles += m.Cycles * w
+			agg.EnergyNJ += m.EnergyNJ * w
+			agg.Energy.add(m.Energy, w)
+			agg.Accesses += m.Accesses * uint64(k.Trip)
+			agg.Hits += m.Hits * uint64(k.Trip)
+			agg.Misses += m.Misses * uint64(k.Trip)
+			agg.ConflictMisses += m.ConflictMisses * uint64(k.Trip)
+		}
+		agg.MissRate = missAcc / float64(totalTrip)
+		program[i] = agg
+	}
+	return program, perKernel, nil
+}
+
+// WarmTrace builds one composite reference trace that executes the
+// kernels back to back — trip counts divided by scale (minimum 1
+// invocation each) — with every kernel's arrays placed in a disjoint
+// region of the address space. It models what Aggregate's independent-
+// kernel assumption ignores: a shared cache stays warm across kernel
+// boundaries and kernels evict each other's data. The paper evaluates
+// kernels cold and composes linearly (§5); comparing both is the
+// "ext-warm" ablation.
+func WarmTrace(kernels []WeightedKernel, scale int64) (*trace.Trace, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("core: WarmTrace needs at least one kernel")
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	// Pre-generate each kernel's trace at its region base.
+	var parts []*trace.Trace
+	var reps []int64
+	base := uint64(0)
+	for _, k := range kernels {
+		if k.Trip <= 0 {
+			return nil, fmt.Errorf("core: kernel %q has non-positive trip %d", k.Nest.Name, k.Trip)
+		}
+		lay := loopir.SequentialLayout(k.Nest, base)
+		tr, err := k.Nest.Generate(lay)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %q: %w", k.Nest.Name, err)
+		}
+		parts = append(parts, tr)
+		rep := k.Trip / scale
+		if rep < 1 {
+			rep = 1
+		}
+		reps = append(reps, rep)
+		for _, a := range k.Nest.Arrays {
+			base += uint64(a.SizeBytes())
+		}
+		// Round each kernel's region up to a 64-byte boundary so regions
+		// never share a cache line.
+		base = (base + 63) &^ 63
+	}
+	// Interleave invocation-by-invocation, round-robin, until all
+	// repetitions are spent — a crude but order-realistic pipeline.
+	total := 0
+	for i, tr := range parts {
+		total += tr.Len() * int(reps[i])
+	}
+	out := trace.New(total)
+	remaining := append([]int64(nil), reps...)
+	for {
+		done := true
+		for i, tr := range parts {
+			if remaining[i] <= 0 {
+				continue
+			}
+			done = false
+			remaining[i]--
+			for j := 0; j < tr.Len(); j++ {
+				out.Append(tr.At(j))
+			}
+		}
+		if done {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"memexplore/internal/kernels"
+)
+
+func mpegWeighted() []WeightedKernel {
+	var ws []WeightedKernel
+	for _, k := range kernels.MPEGKernels() {
+		ws = append(ws, WeightedKernel{Nest: k.Nest, Trip: k.Trip})
+	}
+	return ws
+}
+
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.CacheSizes = []int{32, 64, 128}
+	o.LineSizes = []int{4, 8}
+	o.Assocs = []int{1, 2}
+	o.Tilings = []int{1, 2}
+	return o
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, _, err := Aggregate(nil, tinyOptions()); err == nil {
+		t.Error("empty kernel list should fail")
+	}
+	bad := []WeightedKernel{{Nest: kernels.Compress(), Trip: 0}}
+	if _, _, err := Aggregate(bad, tinyOptions()); err == nil {
+		t.Error("zero trip should fail")
+	}
+}
+
+func TestAggregateFormulas(t *testing.T) {
+	ws := []WeightedKernel{
+		{Nest: kernels.Dequant(), Trip: 3},
+		{Nest: kernels.MatAdd(), Trip: 7},
+	}
+	o := tinyOptions()
+	program, perKernel, err := Aggregate(ws, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(program) != len(o.Space()) {
+		t.Fatalf("program rows %d, space %d", len(program), len(o.Space()))
+	}
+	dq := perKernel["dequant"]
+	ma := perKernel["matadd"]
+	for i, agg := range program {
+		wantCycles := dq[i].Cycles*3 + ma[i].Cycles*7
+		if math.Abs(agg.Cycles-wantCycles) > 1e-6 {
+			t.Fatalf("row %d cycles %v, want %v", i, agg.Cycles, wantCycles)
+		}
+		wantEnergy := dq[i].EnergyNJ*3 + ma[i].EnergyNJ*7
+		if math.Abs(agg.EnergyNJ-wantEnergy) > 1e-6 {
+			t.Fatalf("row %d energy %v, want %v", i, agg.EnergyNJ, wantEnergy)
+		}
+		wantMR := (dq[i].MissRate*3 + ma[i].MissRate*7) / 10
+		if math.Abs(agg.MissRate-wantMR) > 1e-12 {
+			t.Fatalf("row %d missrate %v, want %v", i, agg.MissRate, wantMR)
+		}
+	}
+}
+
+// The §5 headline: the whole-program minimum-energy configuration differs
+// from the minimum-cycles configuration, and from at least one kernel's
+// individual optimum.
+func TestMPEGAggregateHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MPEG sweep in -short mode")
+	}
+	o := DefaultOptions()
+	o.CacheSizes = []int{16, 32, 64, 128, 256, 512}
+	o.Tilings = []int{1, 2, 4, 8, 16}
+	program, perKernel, err := Aggregate(mpegWeighted(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minE, ok := MinEnergy(program)
+	if !ok {
+		t.Fatal("no aggregate metrics")
+	}
+	minC, ok := MinCycles(program)
+	if !ok {
+		t.Fatal("no aggregate metrics")
+	}
+	if minE.Label() == minC.Label() {
+		t.Errorf("min-energy (%s) and min-cycles (%s) configurations coincide — the §5 tradeoff vanished",
+			minE.Label(), minC.Label())
+	}
+	differs := false
+	for name, ms := range perKernel {
+		kMinE, ok := MinEnergy(ms)
+		if !ok {
+			t.Fatalf("no metrics for %s", name)
+		}
+		if kMinE.Label() != minE.Label() {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("every kernel's optimum equals the program optimum — heterogeneity lost")
+	}
+	// Energy at the cycle optimum must exceed the energy optimum (strictly,
+	// or the tradeoff is degenerate).
+	if minC.EnergyNJ <= minE.EnergyNJ {
+		t.Errorf("cycle-optimal config has energy %v ≤ energy-optimal %v", minC.EnergyNJ, minE.EnergyNJ)
+	}
+}

@@ -1,0 +1,447 @@
+// Package core implements the paper's MemExplore algorithm (§1):
+//
+//	for on-chip memory size M (powers of 2)
+//	  for cache size T ≤ M (powers of 2)
+//	    for line size L < T (powers of 2)
+//	      for set associativity S ≤ 8 (powers of 2)
+//	        for tiling size B ≤ T/L (powers of 2)
+//	          estimate miss rate, cycles C and energy E
+//	select (T, L, S, B) that maximizes performance
+//
+// Estimation is by exact trace-driven simulation of the kernel (not the
+// paper's closed forms — see DESIGN.md): the kernel is tiled (§4.2), its
+// arrays are placed by the §4.1 off-chip assignment (or sequentially for
+// the unoptimized baseline), the resulting reference trace is run through
+// the cache simulator, and the §2.2 cycle and §2.3 energy models score the
+// outcome. Selection helpers implement the paper's bounded queries —
+// minimum-energy configuration under a cycle bound and vice versa — and
+// the §5 trip-count-weighted aggregation for multi-kernel programs.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"memexplore/internal/bus"
+	"memexplore/internal/cachesim"
+	"memexplore/internal/cycles"
+	"memexplore/internal/energy"
+	"memexplore/internal/layout"
+	"memexplore/internal/loopir"
+	"memexplore/internal/trace"
+)
+
+// Metrics is the outcome of evaluating one kernel under one configuration.
+type Metrics struct {
+	// CacheSize, LineSize, Assoc, Tiling identify the configuration — the
+	// paper's (T, L, S, B).
+	CacheSize int
+	LineSize  int
+	Assoc     int
+	Tiling    int
+	// Optimized reports whether the §4.1 off-chip assignment was applied.
+	Optimized bool
+
+	// Accesses, Hits, Misses are absolute counts from the simulator;
+	// MissRate is Misses/Accesses (per-reference accounting).
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	MissRate float64
+	// ConflictMisses is filled only when Options.Classify is set.
+	ConflictMisses uint64
+
+	// Cycles is the §2.2 processor-cycle estimate.
+	Cycles float64
+	// EnergyNJ is the §2.3 energy estimate in nanojoules.
+	EnergyNJ float64
+	// Energy is the per-component decomposition of EnergyNJ.
+	Energy EnergyBreakdown
+	// AddBS is the measured Gray-code address-bus switching per access.
+	AddBS float64
+}
+
+// EnergyBreakdown splits the total energy into the §2.3 components, in
+// nanojoules: the address-decoding path, the cell arrays, the I/O pads,
+// and main-memory accesses — plus the optional extension terms
+// (static leakage and write-back traffic), which are zero under the
+// paper's defaults.
+type EnergyBreakdown struct {
+	DecNJ   float64
+	CellNJ  float64
+	IONJ    float64
+	MainNJ  float64
+	LeakNJ  float64
+	WriteNJ float64
+}
+
+// Total returns the summed components.
+func (b EnergyBreakdown) Total() float64 {
+	return b.DecNJ + b.CellNJ + b.IONJ + b.MainNJ + b.LeakNJ + b.WriteNJ
+}
+
+// add accumulates o scaled by w.
+func (b *EnergyBreakdown) add(o EnergyBreakdown, w float64) {
+	b.DecNJ += o.DecNJ * w
+	b.CellNJ += o.CellNJ * w
+	b.IONJ += o.IONJ * w
+	b.MainNJ += o.MainNJ * w
+	b.LeakNJ += o.LeakNJ * w
+	b.WriteNJ += o.WriteNJ * w
+}
+
+// EDP returns the energy–delay product (nJ·cycles), a common derived
+// objective for low-power design; selection by EDP is provided by MinEDP.
+func (m Metrics) EDP() float64 { return m.EnergyNJ * m.Cycles }
+
+// Config returns the cache configuration of the metrics.
+func (m Metrics) Config() cachesim.Config {
+	return cachesim.DefaultConfig(m.CacheSize, m.LineSize, m.Assoc)
+}
+
+// Label renders the configuration in the paper's style, e.g.
+// "C64L8S2B4".
+func (m Metrics) Label() string {
+	return fmt.Sprintf("C%dL%dS%dB%d", m.CacheSize, m.LineSize, m.Assoc, m.Tiling)
+}
+
+// Options parameterizes an exploration sweep. The zero value is not
+// useful; start from DefaultOptions.
+type Options struct {
+	// CacheSizes are the candidate T values in bytes (powers of two).
+	CacheSizes []int
+	// LineSizes are the candidate L values in bytes (powers of two; only
+	// values with §2.2 miss-penalty entries are legal).
+	LineSizes []int
+	// Assocs are the candidate S values (1, 2, 4, 8).
+	Assocs []int
+	// Tilings are the candidate B values; each is additionally capped at
+	// T/L during the sweep, per the algorithm.
+	Tilings []int
+	// MaxOnChip is M, the on-chip memory bound: configurations with
+	// T > MaxOnChip are skipped. Zero means no bound.
+	MaxOnChip int
+	// OptimizeLayout applies the §4.1 off-chip assignment; when false the
+	// arrays are packed sequentially (the "unoptimized" columns of
+	// Figures 5 and 9).
+	OptimizeLayout bool
+	// Energy supplies the §2.3 coefficients and the main-memory part.
+	Energy energy.Params
+	// Classify enables 3C miss classification (slower; fills
+	// ConflictMisses).
+	Classify bool
+	// Replacement overrides the within-set victim policy (default LRU,
+	// the paper's implicit choice).
+	Replacement cachesim.Replacement
+	// WriteThrough switches the cache from write-back (the default) to
+	// write-through.
+	WriteThrough bool
+	// NoWriteAllocate disables allocation on write misses.
+	NoWriteAllocate bool
+	// VictimLines attaches a fully associative victim buffer of that many
+	// lines to every simulated cache (0 = none; an extension knob — the
+	// ext-victim exhibit compares it against the §4.1 layout).
+	VictimLines int
+}
+
+// cacheConfig builds the simulator configuration for a sweep point under
+// the options' policies.
+func (o Options) cacheConfig(size, line, assoc int) cachesim.Config {
+	cfg := cachesim.DefaultConfig(size, line, assoc)
+	cfg.Replacement = o.Replacement
+	cfg.WriteBack = !o.WriteThrough
+	cfg.WriteAllocate = !o.NoWriteAllocate
+	cfg.VictimLines = o.VictimLines
+	return cfg
+}
+
+// DefaultOptions returns the paper's sweep: T ∈ 16..1024, L ∈ 4..64,
+// S ∈ {1,2,4,8}, B ∈ {1..16}, optimized layout, Cypress CY7C main memory.
+func DefaultOptions() Options {
+	return Options{
+		CacheSizes:     []int{16, 32, 64, 128, 256, 512, 1024},
+		LineSizes:      []int{4, 8, 16, 32, 64},
+		Assocs:         []int{1, 2, 4, 8},
+		Tilings:        []int{1, 2, 4, 8, 16},
+		OptimizeLayout: true,
+		Energy:         energy.DefaultParams(energy.CypressCY7C()),
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if len(o.CacheSizes) == 0 || len(o.LineSizes) == 0 || len(o.Assocs) == 0 || len(o.Tilings) == 0 {
+		return fmt.Errorf("core: options must list at least one cache size, line size, associativity and tiling")
+	}
+	for _, l := range o.LineSizes {
+		if _, err := cycles.CyclesPerMiss(l); err != nil {
+			return fmt.Errorf("core: line size %d has no cycle-model entry: %w", l, err)
+		}
+	}
+	for _, b := range o.Tilings {
+		if b < 1 {
+			return fmt.Errorf("core: tiling size %d must be ≥ 1", b)
+		}
+	}
+	if o.VictimLines < 0 {
+		return fmt.Errorf("core: negative victim buffer size %d", o.VictimLines)
+	}
+	return o.Energy.Validate()
+}
+
+// Explorer evaluates configurations for one kernel, caching generated
+// traces (and their measured bus activity) across a sweep. A trace depends
+// only on the tiling and the layout; sequential layouts are shared across
+// all cache geometries, while optimized layouts are keyed by (L, sets).
+type Explorer struct {
+	nest *loopir.Nest
+	opts Options
+
+	tiled  map[int]*loopir.Nest
+	traces map[traceKey]*tracedWorkload
+}
+
+type traceKey struct {
+	tiling    int
+	optimized bool
+	lineBytes int // zero for sequential layouts
+	sets      int // zero for sequential layouts
+}
+
+type tracedWorkload struct {
+	tr    *trace.Trace
+	addBS float64
+}
+
+// NewExplorer builds an explorer for one kernel.
+func NewExplorer(n *loopir.Nest, opts Options) (*Explorer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &Explorer{
+		nest:   n,
+		opts:   opts,
+		tiled:  map[int]*loopir.Nest{},
+		traces: map[traceKey]*tracedWorkload{},
+	}, nil
+}
+
+// Nest returns the kernel being explored.
+func (e *Explorer) Nest() *loopir.Nest { return e.nest }
+
+func (e *Explorer) tiledNest(b int) (*loopir.Nest, error) {
+	if n, ok := e.tiled[b]; ok {
+		return n, nil
+	}
+	n, err := loopir.TileAll(e.nest, b)
+	if err != nil {
+		return nil, err
+	}
+	e.tiled[b] = n
+	return n, nil
+}
+
+func (e *Explorer) workload(tiling int, cfg cachesim.Config) (*tracedWorkload, error) {
+	// The §4.1 assignment targets the direct-mapped mapping of the (T, L)
+	// geometry — T/L sets — independent of S: associativity only merges
+	// sets and can absorb residual overlaps, and keeping the layout fixed
+	// across S isolates associativity's effect in the sweep.
+	key := traceKey{tiling: tiling, optimized: e.opts.OptimizeLayout}
+	if e.opts.OptimizeLayout {
+		key.lineBytes = cfg.LineBytes
+		key.sets = cfg.NumLines()
+	}
+	if w, ok := e.traces[key]; ok {
+		return w, nil
+	}
+	n, err := e.tiledNest(tiling)
+	if err != nil {
+		return nil, err
+	}
+	var lay loopir.Layout
+	if e.opts.OptimizeLayout {
+		plan, err := layout.Optimize(n, cfg.LineBytes, cfg.NumLines())
+		if err != nil {
+			return nil, err
+		}
+		lay = plan.Layout
+	} else {
+		lay = loopir.SequentialLayout(n, 0)
+	}
+	tr, err := n.Generate(lay)
+	if err != nil {
+		return nil, err
+	}
+	w := &tracedWorkload{
+		tr:    tr,
+		addBS: bus.MeasureTrace(tr, bus.Gray).AddBS(),
+	}
+	e.traces[key] = w
+	return w, nil
+}
+
+// Evaluate scores one (T, L, S, B) configuration.
+func (e *Explorer) Evaluate(cfg cachesim.Config, tiling int) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	w, err := e.workload(tiling, cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var st cachesim.Stats
+	if e.opts.Classify {
+		st, err = cachesim.RunTrace(cfg, w.tr)
+	} else {
+		st, err = cachesim.RunTraceFast(cfg, w.tr)
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	m, err := scoreStats(cfg, tiling, e.opts.Energy, st, w.addBS)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.Optimized = e.opts.OptimizeLayout
+	return m, nil
+}
+
+// scoreStats turns simulator statistics into Metrics under the §2.2 cycle
+// model and the §2.3 energy model.
+func scoreStats(cfg cachesim.Config, tiling int, p energy.Params, st cachesim.Stats, addBS float64) (Metrics, error) {
+	cyc, err := cycles.Count(cycles.Params{
+		Assoc:      cfg.Assoc,
+		LineBytes:  cfg.LineBytes,
+		TilingSize: tiling,
+	}, st.Hits, st.Misses)
+	if err != nil {
+		return Metrics{}, err
+	}
+	ba, err := energy.PerAccess(p, cfg, addBS)
+	if err != nil {
+		return Metrics{}, err
+	}
+	hits, misses := float64(st.Hits), float64(st.Misses)
+	breakdown := EnergyBreakdown{
+		DecNJ:  (hits + misses) * ba.EDec,
+		CellNJ: (hits + misses) * ba.ECell,
+		IONJ:   misses * ba.EIO,
+		MainNJ: misses * ba.EMain,
+	}
+	if p.LeakNJPerCycleKB > 0 {
+		breakdown.LeakNJ = p.LeakNJPerCycleKB * float64(cfg.SizeBytes) / 1024 * cyc
+	}
+	if p.CountWriteTraffic {
+		breakdown.WriteNJ = float64(st.WriteBacks+st.WriteThroughs) * (ba.EIO + ba.EMain)
+	}
+	return Metrics{
+		CacheSize:      cfg.SizeBytes,
+		LineSize:       cfg.LineBytes,
+		Assoc:          cfg.Assoc,
+		Tiling:         tiling,
+		Accesses:       st.Accesses,
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		MissRate:       st.MissRate(),
+		ConflictMisses: st.ConflictMisses,
+		Cycles:         cyc,
+		EnergyNJ:       breakdown.Total(),
+		Energy:         breakdown,
+		AddBS:          addBS,
+	}, nil
+}
+
+// EvaluateTrace scores an arbitrary pre-generated trace under one cache
+// configuration, with 3C classification when classify is set. It is the
+// building block for compositions the sweep does not cover (e.g. warm
+// multi-kernel pipelines).
+func EvaluateTrace(tr *trace.Trace, cfg cachesim.Config, tiling int, p energy.Params, classify bool) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	var (
+		st  cachesim.Stats
+		err error
+	)
+	if classify {
+		st, err = cachesim.RunTrace(cfg, tr)
+	} else {
+		st, err = cachesim.RunTraceFast(cfg, tr)
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	addBS := bus.MeasureTrace(tr, bus.Gray).AddBS()
+	return scoreStats(cfg, tiling, p, st, addBS)
+}
+
+// Space enumerates the legal (T, L, S, B) combinations of the options in
+// deterministic order.
+func (o Options) Space() []ConfigPoint {
+	var out []ConfigPoint
+	sizes := append([]int(nil), o.CacheSizes...)
+	lines := append([]int(nil), o.LineSizes...)
+	assocs := append([]int(nil), o.Assocs...)
+	tilings := append([]int(nil), o.Tilings...)
+	sort.Ints(sizes)
+	sort.Ints(lines)
+	sort.Ints(assocs)
+	sort.Ints(tilings)
+	for _, t := range sizes {
+		if o.MaxOnChip > 0 && t > o.MaxOnChip {
+			continue
+		}
+		for _, l := range lines {
+			if l >= t { // the paper requires L < T
+				continue
+			}
+			for _, s := range assocs {
+				if s > t/l {
+					continue
+				}
+				for _, b := range tilings {
+					if b > t/l {
+						continue
+					}
+					out = append(out, ConfigPoint{CacheSize: t, LineSize: l, Assoc: s, Tiling: b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConfigPoint is one point of the exploration space.
+type ConfigPoint struct {
+	CacheSize int
+	LineSize  int
+	Assoc     int
+	Tiling    int
+}
+
+// Config returns the cache configuration of the point.
+func (p ConfigPoint) Config() cachesim.Config {
+	return cachesim.DefaultConfig(p.CacheSize, p.LineSize, p.Assoc)
+}
+
+// Explore runs the full MemExplore sweep for a kernel and returns one
+// Metrics per legal configuration, in deterministic order.
+func Explore(n *loopir.Nest, opts Options) ([]Metrics, error) {
+	e, err := NewExplorer(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	points := opts.Space()
+	out := make([]Metrics, 0, len(points))
+	for _, p := range points {
+		m, err := e.Evaluate(opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc), p.Tiling)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s/%v: %w", n.Name, p, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memexplore/internal/loopir"
+)
+
+// ExploreParallel is Explore with the sweep points distributed across
+// worker goroutines. Results are identical to Explore (same points, same
+// order); workers ≤ 0 uses GOMAXPROCS. Each worker owns a private
+// Explorer, so a few traces are generated once per worker instead of once
+// per sweep — a small, bounded duplication that buys linear scaling of
+// the simulation work.
+func ExploreParallel(n *loopir.Nest, opts Options, workers int) ([]Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	points := opts.Space()
+	if workers == 1 || len(points) < 2*workers {
+		return Explore(n, opts)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+
+	out := make([]Metrics, len(points))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e, err := NewExplorer(n, opts)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			// Contiguous blocks maximize per-worker trace-cache reuse:
+			// adjacent sweep points share tiling and layout.
+			lo := w * len(points) / workers
+			hi := (w + 1) * len(points) / workers
+			for i := lo; i < hi; i++ {
+				p := points[i]
+				m, err := e.Evaluate(opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc), p.Tiling)
+				if err != nil {
+					errs[w] = fmt.Errorf("core: evaluating %s/%v: %w", n.Name, p, err)
+					return
+				}
+				out[i] = m
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MinEnergy returns the configuration with the lowest energy; ties break
+// toward fewer cycles, then smaller cache. ok is false for an empty slice.
+func MinEnergy(ms []Metrics) (Metrics, bool) {
+	return minBy(ms, func(a, b Metrics) bool {
+		if a.EnergyNJ != b.EnergyNJ {
+			return a.EnergyNJ < b.EnergyNJ
+		}
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		return a.CacheSize < b.CacheSize
+	})
+}
+
+// MinCycles returns the configuration with the fewest processor cycles;
+// ties break toward lower energy, then smaller cache.
+func MinCycles(ms []Metrics) (Metrics, bool) {
+	return minBy(ms, func(a, b Metrics) bool {
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		if a.EnergyNJ != b.EnergyNJ {
+			return a.EnergyNJ < b.EnergyNJ
+		}
+		return a.CacheSize < b.CacheSize
+	})
+}
+
+// MinEDP returns the configuration with the lowest energy–delay product;
+// ties break toward lower energy.
+func MinEDP(ms []Metrics) (Metrics, bool) {
+	return minBy(ms, func(a, b Metrics) bool {
+		if a.EDP() != b.EDP() {
+			return a.EDP() < b.EDP()
+		}
+		return a.EnergyNJ < b.EnergyNJ
+	})
+}
+
+// MinEnergyUnderCycleBound implements the paper's "minimum energy cache
+// configuration if time is the hard constraint": the lowest-energy
+// configuration whose cycle count does not exceed bound. ok is false when
+// no configuration meets the bound.
+func MinEnergyUnderCycleBound(ms []Metrics, bound float64) (Metrics, bool) {
+	return MinEnergy(filter(ms, func(m Metrics) bool { return m.Cycles <= bound }))
+}
+
+// MinCyclesUnderEnergyBound implements the paper's "minimum time cache
+// configuration if energy is the hard constraint".
+func MinCyclesUnderEnergyBound(ms []Metrics, boundNJ float64) (Metrics, bool) {
+	return MinCycles(filter(ms, func(m Metrics) bool { return m.EnergyNJ <= boundNJ }))
+}
+
+// MinSizeUnderBounds returns the smallest cache meeting both bounds
+// (either bound may be +Inf).
+func MinSizeUnderBounds(ms []Metrics, cycleBound, energyBoundNJ float64) (Metrics, bool) {
+	return minBy(filter(ms, func(m Metrics) bool {
+		return m.Cycles <= cycleBound && m.EnergyNJ <= energyBoundNJ
+	}), func(a, b Metrics) bool {
+		if a.CacheSize != b.CacheSize {
+			return a.CacheSize < b.CacheSize
+		}
+		return a.EnergyNJ < b.EnergyNJ
+	})
+}
+
+// ParetoFrontier returns the configurations that are Pareto-optimal in the
+// (cycles, energy) plane, sorted by increasing cycles. These are the
+// energy–time tradeoff points the paper's conclusion describes.
+func ParetoFrontier(ms []Metrics) []Metrics {
+	if len(ms) == 0 {
+		return nil
+	}
+	sorted := append([]Metrics(nil), ms...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Cycles != sorted[j].Cycles {
+			return sorted[i].Cycles < sorted[j].Cycles
+		}
+		return sorted[i].EnergyNJ < sorted[j].EnergyNJ
+	})
+	var out []Metrics
+	best := math.Inf(1)
+	for _, m := range sorted {
+		if m.EnergyNJ < best {
+			out = append(out, m)
+			best = m.EnergyNJ
+		}
+	}
+	return out
+}
+
+func filter(ms []Metrics, keep func(Metrics) bool) []Metrics {
+	var out []Metrics
+	for _, m := range ms {
+		if keep(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func minBy(ms []Metrics, less func(a, b Metrics) bool) (Metrics, bool) {
+	if len(ms) == 0 {
+		return Metrics{}, false
+	}
+	best := ms[0]
+	for _, m := range ms[1:] {
+		if less(m, best) {
+			best = m
+		}
+	}
+	return best, true
+}
+
+// Find returns the metrics for an exact (T, L, S, B) point, if present.
+func Find(ms []Metrics, p ConfigPoint) (Metrics, bool) {
+	for _, m := range ms {
+		if m.CacheSize == p.CacheSize && m.LineSize == p.LineSize &&
+			m.Assoc == p.Assoc && m.Tiling == p.Tiling {
+			return m, true
+		}
+	}
+	return Metrics{}, false
+}
+
+// String renders a metrics row compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s missrate=%.4f cycles=%.0f energy=%.0fnJ", m.Label(), m.MissRate, m.Cycles, m.EnergyNJ)
+}

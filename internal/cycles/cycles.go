@@ -1,0 +1,107 @@
+// Package cycles implements the paper's processor-cycle model (§2.2),
+// adopted from Hennessy & Patterson [10]:
+//
+//	cycles = hits·(cycles per hit) + misses·(tiling size + cycles per miss)
+//
+// with cycles-per-hit depending on associativity (greater associativity
+// costs hit time) and cycles-per-miss depending on line size (longer lines
+// cost miss penalty). The paper states the formula per reference via
+// hit_rate·trip_count; this package uses the equivalent absolute counts
+// (see DESIGN.md on per-reference accounting).
+package cycles
+
+import "fmt"
+
+// hitCycles maps degree of set associativity to cycles per hit (§2.2).
+var hitCycles = map[int]float64{
+	1: 1.0,
+	2: 1.1,
+	4: 1.12,
+	8: 1.14,
+}
+
+// missCycles maps cache line size in bytes to cycles per miss (§2.2).
+var missCycles = map[int]float64{
+	4:   40,
+	8:   40,
+	16:  42,
+	32:  44,
+	64:  48,
+	128: 56,
+	256: 72,
+}
+
+// CyclesPerHit returns the hit latency for the given associativity.
+// Associativities above 8 saturate at the 8-way value; the paper only
+// explores S ≤ 8.
+func CyclesPerHit(assoc int) (float64, error) {
+	if assoc <= 0 {
+		return 0, fmt.Errorf("cycles: invalid associativity %d", assoc)
+	}
+	if c, ok := hitCycles[assoc]; ok {
+		return c, nil
+	}
+	if assoc > 8 {
+		return hitCycles[8], nil
+	}
+	// Non-power-of-two between table entries: interpolate by next lower
+	// power of two. The exploration only generates powers of two, so this
+	// is defensive.
+	for s := assoc; s >= 1; s-- {
+		if c, ok := hitCycles[s]; ok {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("cycles: no hit-cycle entry for associativity %d", assoc)
+}
+
+// CyclesPerMiss returns the miss penalty for the given line size in bytes.
+// Line sizes outside the paper's table (4..256) are an error.
+func CyclesPerMiss(lineBytes int) (float64, error) {
+	if c, ok := missCycles[lineBytes]; ok {
+		return c, nil
+	}
+	return 0, fmt.Errorf("cycles: no miss-penalty entry for line size %d (want power of two in [4,256])", lineBytes)
+}
+
+// Params fixes the configuration-dependent inputs of the cycle model.
+type Params struct {
+	// Assoc is the degree of set associativity S.
+	Assoc int
+	// LineBytes is the cache line size L.
+	LineBytes int
+	// TilingSize is the tiling factor B; the paper adds it to the miss
+	// penalty ("tiling size + number of cycles per miss"). Use 1 for an
+	// untiled loop.
+	TilingSize int
+}
+
+// Count computes the total processor cycles for the given hit and miss
+// counts under the model.
+func Count(p Params, hits, misses uint64) (float64, error) {
+	cph, err := CyclesPerHit(p.Assoc)
+	if err != nil {
+		return 0, err
+	}
+	cpm, err := CyclesPerMiss(p.LineBytes)
+	if err != nil {
+		return 0, err
+	}
+	b := p.TilingSize
+	if b < 1 {
+		b = 1
+	}
+	return float64(hits)*cph + float64(misses)*(float64(b)+cpm), nil
+}
+
+// SupportedLineSizes returns the line sizes the model has penalties for,
+// in increasing order.
+func SupportedLineSizes() []int {
+	return []int{4, 8, 16, 32, 64, 128, 256}
+}
+
+// SupportedAssociativities returns the associativities with exact hit-time
+// entries, in increasing order.
+func SupportedAssociativities() []int {
+	return []int{1, 2, 4, 8}
+}

@@ -1,0 +1,132 @@
+package cycles
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclesPerHitTable(t *testing.T) {
+	want := map[int]float64{1: 1.0, 2: 1.1, 4: 1.12, 8: 1.14}
+	for s, w := range want {
+		got, err := CyclesPerHit(s)
+		if err != nil {
+			t.Fatalf("CyclesPerHit(%d): %v", s, err)
+		}
+		if got != w {
+			t.Errorf("CyclesPerHit(%d) = %v, want %v", s, got, w)
+		}
+	}
+	if _, err := CyclesPerHit(0); err == nil {
+		t.Error("CyclesPerHit(0) should fail")
+	}
+	if _, err := CyclesPerHit(-2); err == nil {
+		t.Error("CyclesPerHit(-2) should fail")
+	}
+	// Above-table associativity saturates.
+	got, err := CyclesPerHit(16)
+	if err != nil || got != 1.14 {
+		t.Errorf("CyclesPerHit(16) = %v,%v want 1.14", got, err)
+	}
+	// In-between values fall back to next lower entry.
+	got, err = CyclesPerHit(3)
+	if err != nil || got != 1.1 {
+		t.Errorf("CyclesPerHit(3) = %v,%v want 1.1", got, err)
+	}
+}
+
+func TestCyclesPerMissTable(t *testing.T) {
+	want := map[int]float64{4: 40, 8: 40, 16: 42, 32: 44, 64: 48, 128: 56, 256: 72}
+	for l, w := range want {
+		got, err := CyclesPerMiss(l)
+		if err != nil {
+			t.Fatalf("CyclesPerMiss(%d): %v", l, err)
+		}
+		if got != w {
+			t.Errorf("CyclesPerMiss(%d) = %v, want %v", l, got, w)
+		}
+	}
+	for _, l := range []int{0, 2, 3, 512} {
+		if _, err := CyclesPerMiss(l); err == nil {
+			t.Errorf("CyclesPerMiss(%d) should fail", l)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	// Direct-mapped, L=8, no tiling: 100 hits + 10 misses.
+	got, err := Count(Params{Assoc: 1, LineBytes: 8, TilingSize: 1}, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100*1.0 + 10*(1+40.0)
+	if got != want {
+		t.Errorf("Count = %v, want %v", got, want)
+	}
+	// Tiling adds B to the miss penalty.
+	got, err = Count(Params{Assoc: 1, LineBytes: 8, TilingSize: 8}, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 100 + 10*(8+40.0)
+	if got != want {
+		t.Errorf("Count with tiling = %v, want %v", got, want)
+	}
+	// TilingSize 0 behaves like 1.
+	a, _ := Count(Params{Assoc: 1, LineBytes: 8, TilingSize: 0}, 5, 5)
+	b, _ := Count(Params{Assoc: 1, LineBytes: 8, TilingSize: 1}, 5, 5)
+	if a != b {
+		t.Errorf("B=0 (%v) should equal B=1 (%v)", a, b)
+	}
+}
+
+func TestCountErrors(t *testing.T) {
+	if _, err := Count(Params{Assoc: 0, LineBytes: 8}, 1, 1); err == nil {
+		t.Error("invalid associativity should fail")
+	}
+	if _, err := Count(Params{Assoc: 1, LineBytes: 5}, 1, 1); err == nil {
+		t.Error("invalid line size should fail")
+	}
+}
+
+func TestSupportedTables(t *testing.T) {
+	for _, l := range SupportedLineSizes() {
+		if _, err := CyclesPerMiss(l); err != nil {
+			t.Errorf("supported line size %d rejected: %v", l, err)
+		}
+	}
+	for _, s := range SupportedAssociativities() {
+		if _, err := CyclesPerHit(s); err != nil {
+			t.Errorf("supported associativity %d rejected: %v", s, err)
+		}
+	}
+}
+
+// Property: cycles are monotone in hits, misses, and tiling size.
+func TestQuickCountMonotone(t *testing.T) {
+	f := func(hits, misses uint32, b uint8) bool {
+		p := Params{Assoc: 2, LineBytes: 16, TilingSize: int(b%64) + 1}
+		c1, err1 := Count(p, uint64(hits), uint64(misses))
+		c2, err2 := Count(p, uint64(hits)+1, uint64(misses))
+		c3, err3 := Count(p, uint64(hits), uint64(misses)+1)
+		p2 := p
+		p2.TilingSize++
+		c4, err4 := Count(p2, uint64(hits), uint64(misses))
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		if c2 <= c1 || c3 <= c1 {
+			return false
+		}
+		if c4 < c1 { // equal when misses == 0
+			return false
+		}
+		if misses > 0 && c4 <= c1 {
+			return false
+		}
+		return !math.IsNaN(c1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

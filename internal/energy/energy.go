@@ -1,0 +1,218 @@
+// Package energy implements the paper's cache energy model (§2.3), a
+// rectified version of Hicks/Walnock/Owens built on Su & Despain's
+// hit-energy model:
+//
+//	Energy      = hits·Energy_hit + misses·Energy_miss
+//	Energy_hit  = E_dec + E_cell
+//	Energy_miss = E_dec + E_cell + E_io + E_main
+//	E_dec  = α·Add_bs
+//	E_cell = β·word_line_size·bit_line_size
+//	E_io   = γ·(Data_bs·L + Add_bs)
+//	E_main = γ·(Data_bs·L) + Em·L
+//
+// with α = 0.001, β = 2, γ = 20 for the paper's 0.8 µm CMOS process, Add_bs
+// the Gray-coded address-bus switching per access (package bus), Data_bs an
+// assumed data-bus activity factor, and Em the main-memory energy per
+// access. The paper states the coefficients without units; here β and γ
+// carry explicit pJ-scale factors (CellScale, IOScale, default 1/1000) so
+// results come out in nanojoules with E_hit in the 0.1–10 nJ range and
+// E_main = Em·L dominating misses — the regime all of the paper's tradeoff
+// discussions assume. See DESIGN.md "Energy-model units".
+package energy
+
+import (
+	"fmt"
+
+	"memexplore/internal/cachesim"
+)
+
+// SRAM describes an off-chip main memory part by the only parameter the
+// model needs — energy per access — plus the datasheet values the paper
+// quotes for documentation.
+type SRAM struct {
+	// Name identifies the part.
+	Name string
+	// Bits is the capacity in bits.
+	Bits int64
+	// AccessNS is the access time in nanoseconds.
+	AccessNS float64
+	// VoltageV is the supply voltage.
+	VoltageV float64
+	// CurrentMA is the active current in milliamps.
+	CurrentMA float64
+	// EmNJ is the energy per memory access in nanojoules — the Em of the
+	// model.
+	EmNJ float64
+	// WordBytes is the access width: a cache line of L bytes costs
+	// L/WordBytes memory accesses. The paper's formula Em·L corresponds to
+	// a byte-wide (×8) part, WordBytes = 1.
+	WordBytes int
+}
+
+// CypressCY7C is the paper's reference part: a 2 Mbit SRAM, 4 ns access,
+// 3.3 V, 375 mA, 4.95 nJ per access (§2.3).
+func CypressCY7C() SRAM {
+	return SRAM{
+		Name: "Cypress CY7C (2 Mbit)", Bits: 2 << 20,
+		AccessNS: 4, VoltageV: 3.3, CurrentMA: 375,
+		EmNJ: 4.95, WordBytes: 1,
+	}
+}
+
+// LowPower2Mbit is the low-energy end of the paper's §3 spectrum:
+// Em = 2.31 nJ.
+func LowPower2Mbit() SRAM {
+	return SRAM{Name: "2 Mbit SRAM (low-power)", Bits: 2 << 20, EmNJ: 2.31, WordBytes: 1}
+}
+
+// Large16Mbit is the high-energy end of the paper's §3 spectrum:
+// Em = 43.56 nJ.
+func Large16Mbit() SRAM {
+	return SRAM{Name: "16 Mbit SRAM", Bits: 16 << 20, EmNJ: 43.56, WordBytes: 1}
+}
+
+// Catalog returns the three parts the paper's experiments use.
+func Catalog() []SRAM {
+	return []SRAM{CypressCY7C(), LowPower2Mbit(), Large16Mbit()}
+}
+
+// Params holds the process and bus coefficients of the model. The zero
+// value is not useful; start from DefaultParams.
+type Params struct {
+	// Alpha is the address-decoding-path coefficient α in nJ per
+	// address-bus bit switch (0.001 for 0.8 µm CMOS).
+	Alpha float64
+	// Beta is the cell-array coefficient β (2 for 0.8 µm CMOS), applied as
+	// Beta·CellScale nJ per cell on the activated word/bit lines.
+	Beta float64
+	// Gamma is the I/O-pad coefficient γ (20 for 0.8 µm CMOS), applied as
+	// Gamma·IOScale nJ per switched pad-line term.
+	Gamma float64
+	// CellScale converts β·cells to nJ. Default 1e-3 (β is pJ-scale).
+	CellScale float64
+	// IOScale converts γ·(…) to nJ. Default 1e-3 (γ is pJ-scale).
+	IOScale float64
+	// DataActivity is Data_bs, the assumed data-bus switching factor per
+	// transferred byte (0.5; the paper's exact value is truncated in the
+	// available text).
+	DataActivity float64
+	// Main is the off-chip memory part supplying Em.
+	Main SRAM
+
+	// LeakNJPerCycleKB is an optional static-leakage term: nJ leaked per
+	// processor cycle per KiB of cache capacity. The paper's 0.8 µm
+	// process predates leakage concerns, so the default is 0; setting it
+	// models deep-submicron what-if studies (the Ablations exhibit uses
+	// it). Charged by the exploration core, which knows the cycle count.
+	LeakNJPerCycleKB float64
+	// CountWriteTraffic, when true, charges write-backs the same
+	// I/O+main-memory energy as line fetches. The paper counts READ
+	// energy only ("reads dominate processor cache accesses"), so the
+	// default is false.
+	CountWriteTraffic bool
+}
+
+// DefaultParams returns the paper's 0.8 µm coefficients with the given
+// main-memory part. CellScale is calibrated to 1.5e-3 — the value at
+// which the model reproduces the paper's §3 reference points (Compress
+// minimum-energy configuration C16L4 for Em = 4.95 nJ, and the Figure 1
+// trend reversal between Em = 43.56 nJ and Em = 2.31 nJ); see DESIGN.md
+// "Energy-model units".
+func DefaultParams(main SRAM) Params {
+	return Params{
+		Alpha:        0.001,
+		Beta:         2,
+		Gamma:        20,
+		CellScale:    1.5e-3,
+		IOScale:      1e-3,
+		DataActivity: 0.5,
+		Main:         main,
+	}
+}
+
+// Validate rejects nonsensical parameters.
+func (p Params) Validate() error {
+	if p.Alpha < 0 || p.Beta < 0 || p.Gamma < 0 {
+		return fmt.Errorf("energy: negative coefficient (α=%v β=%v γ=%v)", p.Alpha, p.Beta, p.Gamma)
+	}
+	if p.CellScale <= 0 || p.IOScale <= 0 {
+		return fmt.Errorf("energy: scales must be positive (cell=%v io=%v)", p.CellScale, p.IOScale)
+	}
+	if p.DataActivity < 0 || p.DataActivity > 1 {
+		return fmt.Errorf("energy: data activity %v outside [0,1]", p.DataActivity)
+	}
+	if p.Main.EmNJ <= 0 {
+		return fmt.Errorf("energy: main memory %q has non-positive Em %v", p.Main.Name, p.Main.EmNJ)
+	}
+	if p.Main.WordBytes <= 0 {
+		return fmt.Errorf("energy: main memory %q has non-positive word width %d", p.Main.Name, p.Main.WordBytes)
+	}
+	if p.LeakNJPerCycleKB < 0 {
+		return fmt.Errorf("energy: negative leakage %v", p.LeakNJPerCycleKB)
+	}
+	return nil
+}
+
+// Geometry derives the cell-array dimensions of a cache configuration. The
+// data array of a set-associative cache holds all ways of a set on one word
+// line: word_line_size = 8·L·S cells, bit_line_size = number of sets.
+// Their product is 8·T for any organization, so E_cell grows linearly with
+// total cache size — the effect behind the paper's "bigger cache does not
+// mean lower energy" observation.
+type Geometry struct {
+	WordLineCells int
+	BitLineCells  int
+}
+
+// GeometryOf returns the cell-array geometry for a cache configuration.
+func GeometryOf(cfg cachesim.Config) Geometry {
+	return Geometry{
+		WordLineCells: 8 * cfg.LineBytes * cfg.Assoc,
+		BitLineCells:  cfg.NumSets(),
+	}
+}
+
+// Breakdown is the per-access energy decomposition in nanojoules.
+type Breakdown struct {
+	EDec  float64 // address-decoding path (address bus)
+	ECell float64 // cell array word/bit lines
+	EIO   float64 // processor I/O pads, paid on misses
+	EMain float64 // main-memory access, paid on misses
+}
+
+// Hit returns the energy of one cache hit.
+func (b Breakdown) Hit() float64 { return b.EDec + b.ECell }
+
+// Miss returns the energy of one cache miss.
+func (b Breakdown) Miss() float64 { return b.EDec + b.ECell + b.EIO + b.EMain }
+
+// PerAccess computes the hit/miss energy decomposition for a cache
+// configuration, given the measured average address-bus switching addBS
+// (bus.Activity.AddBS()).
+func PerAccess(p Params, cfg cachesim.Config, addBS float64) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	g := GeometryOf(cfg)
+	l := float64(cfg.LineBytes)
+	memAccessesPerLine := l / float64(p.Main.WordBytes)
+	return Breakdown{
+		EDec:  p.Alpha * addBS,
+		ECell: p.Beta * float64(g.WordLineCells) * float64(g.BitLineCells) * p.CellScale,
+		EIO:   p.Gamma * (p.DataActivity*l + addBS) * p.IOScale,
+		EMain: p.Gamma*(p.DataActivity*l)*p.IOScale + p.Main.EmNJ*memAccessesPerLine,
+	}, nil
+}
+
+// Total computes the total energy in nanojoules for the given hit and miss
+// counts.
+func Total(p Params, cfg cachesim.Config, addBS float64, hits, misses uint64) (float64, error) {
+	b, err := PerAccess(p, cfg, addBS)
+	if err != nil {
+		return 0, err
+	}
+	return float64(hits)*b.Hit() + float64(misses)*b.Miss(), nil
+}

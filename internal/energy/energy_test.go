@@ -1,0 +1,186 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memexplore/internal/cachesim"
+)
+
+func defParams() Params { return DefaultParams(CypressCY7C()) }
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 3 {
+		t.Fatalf("catalog size %d", len(cat))
+	}
+	wantEm := []float64{4.95, 2.31, 43.56}
+	for i, s := range cat {
+		if s.EmNJ != wantEm[i] {
+			t.Errorf("part %q Em = %v, want %v", s.Name, s.EmNJ, wantEm[i])
+		}
+		if s.WordBytes != 1 {
+			t.Errorf("part %q word width = %d, want 1 (paper's Em·L form)", s.Name, s.WordBytes)
+		}
+	}
+	cy := CypressCY7C()
+	if cy.AccessNS != 4 || cy.VoltageV != 3.3 || cy.CurrentMA != 375 {
+		t.Errorf("CY7C datasheet values wrong: %+v", cy)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := defParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Alpha = -1 },
+		func(p *Params) { p.CellScale = 0 },
+		func(p *Params) { p.IOScale = -1 },
+		func(p *Params) { p.DataActivity = 1.5 },
+		func(p *Params) { p.Main.EmNJ = 0 },
+		func(p *Params) { p.Main.WordBytes = 0 },
+	}
+	for i, mutate := range bad {
+		p := defParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate params", i)
+		}
+	}
+}
+
+func TestGeometryOf(t *testing.T) {
+	cfg := cachesim.DefaultConfig(64, 8, 2)
+	g := GeometryOf(cfg)
+	if g.WordLineCells != 8*8*2 {
+		t.Errorf("word line cells = %d, want 128", g.WordLineCells)
+	}
+	if g.BitLineCells != 4 {
+		t.Errorf("bit line cells = %d, want 4", g.BitLineCells)
+	}
+	// Product is 8·T regardless of organization.
+	for _, cfg := range []cachesim.Config{
+		cachesim.DefaultConfig(64, 8, 1),
+		cachesim.DefaultConfig(64, 8, 4),
+		cachesim.DefaultConfig(64, 16, 2),
+	} {
+		g := GeometryOf(cfg)
+		if got := g.WordLineCells * g.BitLineCells; got != 8*64 {
+			t.Errorf("cells(%v) = %d, want 512", cfg, got)
+		}
+	}
+}
+
+func TestPerAccessComponents(t *testing.T) {
+	p := defParams()
+	cfg := cachesim.DefaultConfig(64, 8, 1)
+	addBS := 2.0
+	b, err := PerAccess(p, cfg, addBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.EDec, 0.001*2.0; got != want {
+		t.Errorf("EDec = %v, want %v", got, want)
+	}
+	if got, want := b.ECell, p.Beta*float64(8*8*1)*float64(8)*p.CellScale; got != want {
+		t.Errorf("ECell = %v, want %v", got, want)
+	}
+	if got, want := b.EIO, 20*(0.5*8+2)*1e-3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("EIO = %v, want %v", got, want)
+	}
+	if got, want := b.EMain, 20*(0.5*8)*1e-3+4.95*8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("EMain = %v, want %v", got, want)
+	}
+	if b.Hit() != b.EDec+b.ECell {
+		t.Error("Hit() decomposition wrong")
+	}
+	if b.Miss() != b.EDec+b.ECell+b.EIO+b.EMain {
+		t.Error("Miss() decomposition wrong")
+	}
+	if b.Miss() <= b.Hit() {
+		t.Error("miss energy must exceed hit energy")
+	}
+}
+
+func TestPerAccessRejectsBadInput(t *testing.T) {
+	if _, err := PerAccess(Params{}, cachesim.DefaultConfig(64, 8, 1), 1); err == nil {
+		t.Error("zero params should be rejected")
+	}
+	if _, err := PerAccess(defParams(), cachesim.DefaultConfig(60, 8, 1), 1); err == nil {
+		t.Error("invalid cache config should be rejected")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	p := defParams()
+	cfg := cachesim.DefaultConfig(64, 8, 1)
+	b, err := PerAccess(p, cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Total(p, cfg, 1.0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100*b.Hit() + 10*b.Miss()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+	if _, err := Total(Params{}, cfg, 1, 1, 1); err == nil {
+		t.Error("Total should propagate validation errors")
+	}
+}
+
+// Paper §3 headline: the energy ordering of configurations can invert with
+// Em. Verify the mechanism — hit energy grows with cache size while miss
+// energy grows with Em·L — on the paper's (C,L) diagonal.
+func TestEnergyTrendsWithEm(t *testing.T) {
+	small := cachesim.DefaultConfig(16, 4, 1)
+	large := cachesim.DefaultConfig(512, 64, 1)
+	addBS := 2.0
+
+	bigEm := DefaultParams(Large16Mbit())
+	smallEm := DefaultParams(LowPower2Mbit())
+
+	bSmallCfgBigEm, _ := PerAccess(bigEm, small, addBS)
+	bLargeCfgBigEm, _ := PerAccess(bigEm, large, addBS)
+	bSmallCfgSmallEm, _ := PerAccess(smallEm, small, addBS)
+	bLargeCfgSmallEm, _ := PerAccess(smallEm, large, addBS)
+
+	// Hit energy depends only on geometry, not on Em.
+	if bSmallCfgBigEm.Hit() != bSmallCfgSmallEm.Hit() {
+		t.Error("hit energy should not depend on Em")
+	}
+	if bLargeCfgBigEm.Hit() <= bSmallCfgBigEm.Hit() {
+		t.Error("hit energy should grow with cache size")
+	}
+	// Miss energy grows with both L and Em.
+	if bLargeCfgBigEm.Miss() <= bLargeCfgSmallEm.Miss() {
+		t.Error("miss energy should grow with Em")
+	}
+	if bLargeCfgSmallEm.Miss() <= bSmallCfgSmallEm.Miss() {
+		t.Error("miss energy should grow with line size")
+	}
+}
+
+// Property: energy is non-negative and monotone in hits and misses for any
+// valid configuration and switching level.
+func TestQuickTotalMonotone(t *testing.T) {
+	p := defParams()
+	cfg := cachesim.DefaultConfig(128, 16, 2)
+	f := func(hits, misses uint16, addBSRaw uint8) bool {
+		addBS := float64(addBSRaw % 33)
+		e0, err0 := Total(p, cfg, addBS, uint64(hits), uint64(misses))
+		e1, err1 := Total(p, cfg, addBS, uint64(hits)+1, uint64(misses))
+		e2, err2 := Total(p, cfg, addBS, uint64(hits), uint64(misses)+1)
+		if err0 != nil || err1 != nil || err2 != nil {
+			return false
+		}
+		return e0 >= 0 && e1 > e0 && e2 > e0 && e2 > e1-1e12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package figures
+
+import (
+	"fmt"
+
+	"memexplore/internal/core"
+	"memexplore/internal/energy"
+	"memexplore/internal/kernels"
+	"memexplore/internal/report"
+)
+
+// Fig01 regenerates Figure 1: Compress energy for different cache and line
+// sizes under the two extreme main memories (Em = 43.56 nJ and 2.31 nJ).
+// The paper's claim: with the expensive memory, energy falls as cache and
+// line size grow; with the cheap memory the trend reverses.
+func Fig01() (*Result, error) {
+	res := &Result{
+		ID:    "fig01",
+		Title: "Figure 1: Compress — energy vs cache/line size for Em=43.56 nJ and Em=2.31 nJ",
+	}
+	n := kernels.Compress()
+	points := clDiagonal()
+	parts := []energy.SRAM{energy.Large16Mbit(), energy.LowPower2Mbit()}
+	var diag [2][]core.Metrics
+	for pi, part := range parts {
+		opts := pointOpts(core.DefaultOptions(), points)
+		opts.Energy = energy.DefaultParams(part)
+		ms, err := evalPoints(n, opts, points)
+		if err != nil {
+			return nil, err
+		}
+		diag[pi] = ms
+		tbl := report.New(fmt.Sprintf("Em = %.2f nJ (%s)", part.EmNJ, part.Name),
+			"config", "missrate", "energy(nJ)")
+		for _, m := range ms {
+			tbl.MustAdd(cl(m.CacheSize, m.LineSize), report.F(m.MissRate), report.F(m.EnergyNJ))
+		}
+		res.addTable(tbl)
+	}
+	first, last := 0, len(points)-1
+	res.checkf(diag[0][last].EnergyNJ < diag[0][first].EnergyNJ,
+		"Em=43.56: energy decreases from %s (%.0f nJ) to %s (%.0f nJ)",
+		cl(points[first].CacheSize, points[first].LineSize), diag[0][first].EnergyNJ,
+		cl(points[last].CacheSize, points[last].LineSize), diag[0][last].EnergyNJ)
+	res.checkf(diag[1][last].EnergyNJ > diag[1][first].EnergyNJ,
+		"Em=2.31: energy increases from %s (%.0f nJ) to %s (%.0f nJ)",
+		cl(points[first].CacheSize, points[first].LineSize), diag[1][first].EnergyNJ,
+		cl(points[last].CacheSize, points[last].LineSize), diag[1][last].EnergyNJ)
+	return res, nil
+}
+
+// Fig03 regenerates Figure 3: Compress cycle count over the (C, L) grid
+// with at least 4 cache lines. Cycles must fall monotonically along the
+// diagonal toward the paper's minimum-time configuration C512L64.
+func Fig03() (*Result, error) {
+	res := &Result{ID: "fig03", Title: "Figure 3: Compress — cycles for different cache and line sizes (≥4 lines)"}
+	cacheSizes := []int{16, 32, 64, 128, 256, 512}
+	lineSizes := []int{4, 8, 16, 32, 64}
+	points := clGrid(cacheSizes, lineSizes, 4)
+	opts := pointOpts(core.DefaultOptions(), points)
+	ms, err := evalPoints(kernels.Compress(), opts, points)
+	if err != nil {
+		return nil, err
+	}
+	res.addTable(gridTable("cycles", cacheSizes, lineSizes, points, ms, func(m core.Metrics) string {
+		return report.F(m.Cycles)
+	}))
+
+	minT, _ := core.MinCycles(ms)
+	res.findf("minimum-time configuration: %s (%.0f cycles); paper: C512L64", cl(minT.CacheSize, minT.LineSize), minT.Cycles)
+	// The Compress working set saturates below 512 bytes, so C256L64 and
+	// C512L64 tie on cycles; the paper's pick must be co-optimal (within
+	// 0.1%) and share the largest line size.
+	paperPick, ok := core.Find(ms, core.ConfigPoint{CacheSize: 512, LineSize: 64, Assoc: 1, Tiling: 1})
+	res.checkf(ok && paperPick.Cycles <= 1.001*minT.Cycles && minT.LineSize == 64,
+		"the paper's C512L64 is (co-)optimal in time: %.0f cycles vs minimum %.0f at %s",
+		paperPick.Cycles, minT.Cycles, cl(minT.CacheSize, minT.LineSize))
+	return res, nil
+}
+
+// Fig04 regenerates Figure 4: Compress energy over the same grid with the
+// CY7C memory (Em = 4.95 nJ). The paper reads C16L4 as the minimum-energy
+// configuration and contrasts it with the C512L64 time optimum.
+func Fig04() (*Result, error) {
+	res := &Result{ID: "fig04", Title: "Figure 4: Compress — energy (nJ) for different cache and line sizes (Em=4.95 nJ)"}
+	cacheSizes := []int{16, 32, 64, 128, 256, 512}
+	lineSizes := []int{4, 8, 16, 32, 64}
+	points := clGrid(cacheSizes, lineSizes, 4)
+	opts := pointOpts(core.DefaultOptions(), points)
+	ms, err := evalPoints(kernels.Compress(), opts, points)
+	if err != nil {
+		return nil, err
+	}
+	res.addTable(gridTable("energy(nJ)", cacheSizes, lineSizes, points, ms, func(m core.Metrics) string {
+		return report.F(m.EnergyNJ)
+	}))
+
+	minE, _ := core.MinEnergy(ms)
+	minT, _ := core.MinCycles(ms)
+	res.findf("minimum-energy configuration: %s (%.0f nJ); paper: C16L4", cl(minE.CacheSize, minE.LineSize), minE.EnergyNJ)
+	res.checkf(minE.CacheSize == 16 && minE.LineSize == 4,
+		"minimum-energy configuration is C16L4 as in the paper (got %s)", cl(minE.CacheSize, minE.LineSize))
+	res.checkf(minE.CacheSize != minT.CacheSize || minE.LineSize != minT.LineSize,
+		"minimum-energy (%s) and minimum-time (%s) configurations differ",
+		cl(minE.CacheSize, minE.LineSize), cl(minT.CacheSize, minT.LineSize))
+	return res, nil
+}
+
+// gridTable renders a (C rows × L columns) table of one metric.
+func gridTable(metric string, cacheSizes, lineSizes []int, points []core.ConfigPoint, ms []core.Metrics, cell func(core.Metrics) string) *report.Table {
+	cols := []string{"cache\\line"}
+	for _, l := range lineSizes {
+		cols = append(cols, fmt.Sprintf("L%d", l))
+	}
+	tbl := report.New(metric, cols...)
+	for _, c := range cacheSizes {
+		row := []string{fmt.Sprintf("C%d", c)}
+		for _, l := range lineSizes {
+			val := "-"
+			for i, p := range points {
+				if p.CacheSize == c && p.LineSize == l {
+					val = cell(ms[i])
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		tbl.MustAdd(row...)
+	}
+	return tbl
+}

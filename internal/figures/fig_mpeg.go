@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"fmt"
+
+	"memexplore/internal/core"
+	"memexplore/internal/kernels"
+	"memexplore/internal/report"
+)
+
+// mpegOptions is the sweep used for the §5 case study.
+func mpegOptions() core.Options {
+	o := core.DefaultOptions()
+	o.CacheSizes = []int{16, 32, 64, 128, 256, 512}
+	o.LineSizes = []int{4, 8, 16, 32}
+	o.Assocs = []int{1, 2, 4, 8}
+	o.Tilings = []int{1, 2, 4, 8, 16}
+	return o
+}
+
+// Fig10 regenerates Figure 10: the minimum-energy cache configuration for
+// each kernel program of the MPEG decoder.
+func Fig10() (*Result, error) {
+	res := &Result{ID: "fig10", Title: "Figure 10: minimum-energy cache configuration per MPEG decoder kernel"}
+	opts := mpegOptions()
+	tbl := report.New("", "kernel", "cache", "line", "assoc", "tiling", "energy(nJ)", "cycles")
+	distinct := map[string]bool{}
+	for _, k := range kernels.MPEGKernels() {
+		ms, err := core.Explore(k.Nest, opts)
+		if err != nil {
+			return nil, err
+		}
+		minE, ok := core.MinEnergy(ms)
+		if !ok {
+			return nil, fmt.Errorf("figures: no metrics for %s", k.Nest.Name)
+		}
+		tbl.MustAdd(k.Nest.Name, report.I(minE.CacheSize), report.I(minE.LineSize),
+			report.I(minE.Assoc), report.I(minE.Tiling),
+			report.F(minE.EnergyNJ), report.F(minE.Cycles))
+		distinct[minE.Label()] = true
+	}
+	res.addTable(tbl)
+	res.checkf(len(distinct) > 1,
+		"the per-kernel optima are heterogeneous (%d distinct configurations across 9 kernels)", len(distinct))
+	return res, nil
+}
+
+// Sec5 regenerates the §5 aggregate result: the whole-decoder
+// minimum-energy configuration versus the minimum-cycles configuration,
+// using the trip-count-weighted composition of the nine kernels.
+func Sec5() (*Result, error) {
+	res := &Result{ID: "sec5", Title: "Section 5: MPEG decoder aggregate (trip-count weighted)"}
+	var ws []core.WeightedKernel
+	for _, k := range kernels.MPEGKernels() {
+		ws = append(ws, core.WeightedKernel{Nest: k.Nest, Trip: k.Trip})
+	}
+	program, perKernel, err := core.Aggregate(ws, mpegOptions())
+	if err != nil {
+		return nil, err
+	}
+	minE, _ := core.MinEnergy(program)
+	minC, _ := core.MinCycles(program)
+
+	tbl := report.New("", "objective", "config", "energy(nJ)", "cycles", "missrate")
+	tbl.MustAdd("min energy", minE.Label(), report.F(minE.EnergyNJ), report.F(minE.Cycles), report.F(minE.MissRate))
+	tbl.MustAdd("min cycles", minC.Label(), report.F(minC.EnergyNJ), report.F(minC.Cycles), report.F(minC.MissRate))
+	res.addTable(tbl)
+
+	res.findf("paper: min-energy C64 L4 SA8 TS16 (293,000 nJ; 142,000 cycles); min-cycles C512 L16 SA8 TS8 (1,110,000 nJ; 121,000 cycles)")
+	res.checkf(minE.Label() != minC.Label(),
+		"minimum-energy (%s) differs from minimum-cycles (%s)", minE.Label(), minC.Label())
+	res.checkf(minC.EnergyNJ > minE.EnergyNJ,
+		"the time-optimal configuration costs more energy (%.0f nJ vs %.0f nJ)", minC.EnergyNJ, minE.EnergyNJ)
+	res.checkf(minE.Cycles > minC.Cycles,
+		"the energy-optimal configuration costs more cycles (%.0f vs %.0f)", minE.Cycles, minC.Cycles)
+
+	anyKernelDiffers := false
+	for name, ms := range perKernel {
+		kMinE, ok := core.MinEnergy(ms)
+		if ok && kMinE.Label() != minE.Label() {
+			anyKernelDiffers = true
+			_ = name
+		}
+	}
+	res.checkf(anyKernelDiffers,
+		"the whole-program optimum differs from at least one kernel's individual optimum")
+	return res, nil
+}

@@ -1,0 +1,167 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation, one function per exhibit. Each returns a Result with the
+// rendered tables and the headline findings the exhibit supports, so the
+// same code backs cmd/paperfigs, the root-level benchmarks, and
+// EXPERIMENTS.md.
+//
+// Absolute cycle and energy values differ from the paper's (per-reference
+// accounting, simulated miss rates, calibrated energy scales — see
+// DESIGN.md); the findings assert the paper's qualitative shapes instead.
+package figures
+
+import (
+	"fmt"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/core"
+	"memexplore/internal/kernels"
+	"memexplore/internal/loopir"
+	"memexplore/internal/report"
+)
+
+// Result is one regenerated exhibit.
+type Result struct {
+	// ID is the exhibit identifier, e.g. "fig01".
+	ID string
+	// Title describes the exhibit.
+	Title string
+	// Tables are the regenerated data, paper-style.
+	Tables []*report.Table
+	// Findings are the qualitative checks: each line states a paper claim
+	// and whether the regenerated data reproduces it.
+	Findings []string
+}
+
+func (r *Result) addTable(t *report.Table) { r.Tables = append(r.Tables, t) }
+func (r *Result) findf(format string, args ...any) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+func (r *Result) checkf(ok bool, format string, args ...any) {
+	status := "REPRODUCED"
+	if !ok {
+		status = "DIVERGED"
+	}
+	r.Findings = append(r.Findings, fmt.Sprintf("[%s] %s", status, fmt.Sprintf(format, args...)))
+}
+
+// Entry names one exhibit generator.
+type Entry struct {
+	ID   string
+	Run  func() (*Result, error)
+	Desc string
+}
+
+// All returns every exhibit in paper order.
+func All() []Entry {
+	return []Entry{
+		{"fig01", Fig01, "Compress energy vs cache/line size for Em=43.56 nJ and Em=2.31 nJ"},
+		{"fig02", Fig02, "miss rate, cycles, energy vs cache and line size for the five kernels"},
+		{"fig03", Fig03, "Compress cycle count over the (C, L) grid"},
+		{"fig04", Fig04, "Compress energy over the (C, L) grid, Em=4.95 nJ"},
+		{"fig05", Fig05, "Compress miss-rate reduction from off-chip memory assignment"},
+		{"fig06", Fig06, "miss rate, cycles, energy vs tiling size at C64L8"},
+		{"fig07", Fig07, "energy vs tiling and vs set associativity, Compress and Dequant"},
+		{"fig08", Fig08, "miss rate, cycles, energy vs set associativity at C64L8"},
+		{"fig09", Fig09, "set associativity x tiling, optimized vs unoptimized"},
+		{"fig10", Fig10, "minimum-energy cache configuration per MPEG kernel"},
+		{"sec3", Sec3, "analytical minimum cache size and bounded selection"},
+		{"sec5", Sec5, "MPEG decoder aggregate: min-energy vs min-cycles configuration"},
+		{"ablation", Ablations, "ablations: Gray vs binary bus, replacement policies"},
+		{"ext-breakdown", ExtBreakdown, "extension: §2.3 energy components across the size sweep"},
+		{"ext-icache", ExtICache, "extension (§6): instruction-cache exploration and joint I+D budget"},
+		{"ext-stackdist", ExtStackDist, "extension: reuse-distance analysis vs the simulator"},
+		{"ext-warm", ExtWarm, "extension: warm pipeline vs the §5 cold composition"},
+		{"ext-victim", ExtVictim, "extension: software layout vs hardware victim buffer"},
+		{"ext-spm", ExtSPM, "extension: cache vs scratchpad at equal capacity"},
+		{"ext-l2", ExtL2, "extension: two-level hierarchy vs single level"},
+		{"ext-crossover", ExtCrossover, "extension: the Em crossover of the energy optimum"},
+		{"ext-autotune", ExtAutotune, "extension: transformation x cache codesign search"},
+	}
+}
+
+// ByID returns the entry with the given ID.
+func ByID(id string) (Entry, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("figures: unknown exhibit %q", id)
+}
+
+// ---- shared helpers ----
+
+// evalPoints evaluates a kernel at the given points with one Explorer.
+func evalPoints(n *loopir.Nest, opts core.Options, points []core.ConfigPoint) ([]core.Metrics, error) {
+	e, err := core.NewExplorer(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Metrics, 0, len(points))
+	for _, p := range points {
+		m, err := e.Evaluate(cachesim.DefaultConfig(p.CacheSize, p.LineSize, p.Assoc), p.Tiling)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s at %+v: %w", n.Name, p, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// pointOpts builds Options restricted to the geometry values appearing in
+// the points (Explore-space validation needs them listed).
+func pointOpts(base core.Options, points []core.ConfigPoint) core.Options {
+	sizes := map[int]bool{}
+	lines := map[int]bool{}
+	assocs := map[int]bool{}
+	tilings := map[int]bool{}
+	for _, p := range points {
+		sizes[p.CacheSize] = true
+		lines[p.LineSize] = true
+		assocs[p.Assoc] = true
+		tilings[p.Tiling] = true
+	}
+	toSlice := func(m map[int]bool) []int {
+		var out []int
+		for v := range m {
+			out = append(out, v)
+		}
+		return out
+	}
+	base.CacheSizes = toSlice(sizes)
+	base.LineSizes = toSlice(lines)
+	base.Assocs = toSlice(assocs)
+	base.Tilings = toSlice(tilings)
+	return base
+}
+
+// clGrid returns the paper's (C, L) grid points with at least minLines
+// cache lines, S=1, B=1.
+func clGrid(cacheSizes, lineSizes []int, minLines int) []core.ConfigPoint {
+	var out []core.ConfigPoint
+	for _, c := range cacheSizes {
+		for _, l := range lineSizes {
+			if l >= c || c/l < minLines {
+				continue
+			}
+			out = append(out, core.ConfigPoint{CacheSize: c, LineSize: l, Assoc: 1, Tiling: 1})
+		}
+	}
+	return out
+}
+
+// clDiagonal is the paper's C16L4 → C512L64 family (fixed 4 lines).
+func clDiagonal() []core.ConfigPoint {
+	return []core.ConfigPoint{
+		{CacheSize: 16, LineSize: 4, Assoc: 1, Tiling: 1},
+		{CacheSize: 32, LineSize: 8, Assoc: 1, Tiling: 1},
+		{CacheSize: 64, LineSize: 16, Assoc: 1, Tiling: 1},
+		{CacheSize: 128, LineSize: 32, Assoc: 1, Tiling: 1},
+		{CacheSize: 256, LineSize: 64, Assoc: 1, Tiling: 1},
+	}
+}
+
+func cl(c, l int) string { return fmt.Sprintf("C%dL%d", c, l) }
+
+// fiveKernels returns the §2–4 benchmark kernels.
+func fiveKernels() []*loopir.Nest { return kernels.PaperBenchmarks() }

@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExhibitsRun executes every exhibit and asserts that each produces
+// tables and that every claim check comes back REPRODUCED — this is the
+// repository's end-to-end validation of the paper's qualitative results.
+func TestAllExhibitsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhibits are slow in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %q, want %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Error("exhibit produced no tables")
+			}
+			for _, tbl := range res.Tables {
+				if tbl.Rows() == 0 {
+					t.Errorf("table %q has no rows", tbl.Title)
+				}
+				if !strings.Contains(tbl.String(), "---") {
+					t.Errorf("table %q did not render", tbl.Title)
+				}
+			}
+			for _, f := range res.Findings {
+				if strings.Contains(f, "[DIVERGED]") {
+					t.Errorf("claim diverged: %s", f)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig05")
+	if err != nil || e.ID != "fig05" {
+		t.Fatalf("ByID(fig05) = %+v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown exhibit should fail")
+	}
+}
+
+func TestEntriesUniqueAndDescribed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate exhibit %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Desc == "" {
+			t.Errorf("exhibit %s has no description", e.ID)
+		}
+		if e.Run == nil {
+			t.Errorf("exhibit %s has no runner", e.ID)
+		}
+	}
+	if len(seen) < 22 {
+		t.Errorf("expected at least 22 exhibits, got %d", len(seen))
+	}
+}

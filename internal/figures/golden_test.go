@@ -1,0 +1,62 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/core"
+	"memexplore/internal/kernels"
+)
+
+// TestGoldenNumbers locks the headline measured values recorded in
+// EXPERIMENTS.md. The models and kernels are fully deterministic, so any
+// change here means the recorded results (and possibly the paper claims)
+// need re-examination — update EXPERIMENTS.md together with this table.
+func TestGoldenNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden checks in -short mode")
+	}
+	type point struct {
+		kernel    string
+		cfg       core.ConfigPoint
+		optimized bool
+		missRate  float64
+		energyNJ  float64
+	}
+	golden := []point{
+		// Figure 5 row: Compress at C32L4, optimized vs sequential.
+		{"compress", core.ConfigPoint{CacheSize: 32, LineSize: 4, Assoc: 1, Tiling: 1}, true, 0.1032, 13599.0},
+		{"compress", core.ConfigPoint{CacheSize: 32, LineSize: 4, Assoc: 1, Tiling: 1}, false, 0.8065, 80904.7},
+		// Figure 4 minimum: Compress C16L4.
+		{"compress", core.ConfigPoint{CacheSize: 16, LineSize: 4, Assoc: 1, Tiling: 1}, true, 0.1032, 11753.9},
+		// Figure 2 column C64L16 for dequant.
+		{"dequant", core.ConfigPoint{CacheSize: 64, LineSize: 16, Assoc: 1, Tiling: 1}, true, 0.0430, 14304.7},
+		// Figure 8 anchor: sor sequential at C64L8 SA4.
+		{"sor", core.ConfigPoint{CacheSize: 64, LineSize: 8, Assoc: 4, Tiling: 1}, false, 0.0666, 24157.5},
+	}
+	for _, g := range golden {
+		n, err := kernels.ByName(g.kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := pointOpts(core.DefaultOptions(), []core.ConfigPoint{g.cfg})
+		opts.OptimizeLayout = g.optimized
+		e, err := core.NewExplorer(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := e.Evaluate(cachesim.DefaultConfig(g.cfg.CacheSize, g.cfg.LineSize, g.cfg.Assoc), g.cfg.Tiling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.MissRate-g.missRate) > 5e-5 {
+			t.Errorf("%s %s opt=%v: miss rate %.4f, golden %.4f",
+				g.kernel, m.Label(), g.optimized, m.MissRate, g.missRate)
+		}
+		if math.Abs(m.EnergyNJ-g.energyNJ) > 0.5 {
+			t.Errorf("%s %s opt=%v: energy %.1f, golden %.1f",
+				g.kernel, m.Label(), g.optimized, m.EnergyNJ, g.energyNJ)
+		}
+	}
+}

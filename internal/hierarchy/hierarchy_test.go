@@ -1,0 +1,135 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/energy"
+	"memexplore/internal/kernels"
+	"memexplore/internal/loopir"
+	"memexplore/internal/trace"
+)
+
+func twoLevel(l1, l2 int) Config {
+	return Config{
+		L1: cachesim.DefaultConfig(l1, 8, 1),
+		L2: cachesim.DefaultConfig(l2, 16, 2),
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := twoLevel(64, 512).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{L1: cachesim.DefaultConfig(60, 8, 1), L2: cachesim.DefaultConfig(512, 16, 1)},
+		{L1: cachesim.DefaultConfig(64, 8, 1), L2: cachesim.DefaultConfig(60, 16, 1)},
+		twoLevel(512, 64), // L2 smaller than L1
+		{L1: cachesim.DefaultConfig(64, 16, 1), L2: cachesim.DefaultConfig(512, 8, 1)}, // L2 line < L1 line
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be rejected: %v", i, cfg)
+		}
+	}
+}
+
+func TestL2FiltersL1Misses(t *testing.T) {
+	// A working set bigger than L1 but smaller than L2: after the cold
+	// pass, L1 misses hit in L2, so no further main-memory traffic.
+	tr := trace.Loop(0, 512, 8, 4) // 512 B set, 4 passes
+	st, err := Run(twoLevel(64, 1024), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L1.Misses == 0 {
+		t.Fatal("L1 should miss (working set 8x its size)")
+	}
+	if st.L2.Misses != 32 { // 512 B / 16 B L2 lines: cold fills only
+		t.Errorf("L2 misses = %d, want 32 (cold only)", st.L2.Misses)
+	}
+	if got := st.GlobalMissRate(); got >= st.L1.MissRate() {
+		t.Errorf("global miss rate %v should be below L1 miss rate %v", got, st.L1.MissRate())
+	}
+	// L2 sees exactly the L1 miss fills.
+	if st.L2.Accesses != st.L1.Misses {
+		t.Errorf("L2 accesses %d != L1 misses %d (single-line refs)", st.L2.Accesses, st.L1.Misses)
+	}
+}
+
+func TestSpanningRefsRefillBothLines(t *testing.T) {
+	s, err := New(twoLevel(64, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(trace.Ref{Addr: 6, Size: 4}) // spans L1 lines 0 and 1
+	st := s.Stats()
+	if st.L2.Accesses != 2 {
+		t.Errorf("L2 accesses = %d, want 2 (two L1 lines refilled)", st.L2.Accesses)
+	}
+}
+
+func TestEvaluateModels(t *testing.T) {
+	n := kernels.MatMul()
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := energy.DefaultParams(energy.CypressCY7C())
+	m, err := Evaluate(twoLevel(64, 1024), tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles <= float64(m.Stats.L1.Accesses) {
+		t.Errorf("cycles %v must exceed one per access", m.Cycles)
+	}
+	if m.EnergyNJ <= 0 {
+		t.Errorf("energy = %v", m.EnergyNJ)
+	}
+	// The L2 must filter: global miss rate strictly below L1's.
+	if m.Stats.GlobalMissRate() >= m.Stats.L1.MissRate() {
+		t.Errorf("L2 not filtering: global %v, L1 %v",
+			m.Stats.GlobalMissRate(), m.Stats.L1.MissRate())
+	}
+}
+
+func TestExploreAndSelect(t *testing.T) {
+	n := kernels.MatMul()
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := energy.DefaultParams(energy.CypressCY7C())
+	ms, err := Explore(tr, []int{32, 64}, []int{256, 1024, 4096}, 8, 16, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(ms))
+	}
+	best, ok := MinEnergy(ms)
+	if !ok {
+		t.Fatal("no optimum")
+	}
+	for _, m := range ms {
+		if m.EnergyNJ < best.EnergyNJ {
+			t.Errorf("MinEnergy missed %v", m.Config)
+		}
+	}
+	// Degenerate sweeps fail loudly.
+	if _, err := Explore(tr, []int{512}, []int{256}, 8, 16, 1, p); err == nil {
+		t.Error("sweep with no legal pair should fail")
+	}
+	if _, ok := MinEnergy(nil); ok {
+		t.Error("MinEnergy(nil) should report !ok")
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if _, err := Run(twoLevel(512, 64), trace.Sequential(0, 4, 1)); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+}

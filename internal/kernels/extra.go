@@ -1,0 +1,172 @@
+package kernels
+
+import "memexplore/internal/loopir"
+
+// The kernels below extend the paper's benchmark set with classic
+// embedded/DSP loop nests from the same literature lineage (Wolf & Lam
+// [9] and the Panda/Dutt suites). They exercise access-pattern shapes the
+// five paper kernels do not cover — 1D sliding windows, triangular
+// reuse, block-windowed search — and are used by the examples and by
+// additional tests; no paper figure depends on them.
+
+// FIR is a 64-tap finite-impulse-response filter over a 256-sample
+// buffer: y[i] += x[i+k]·h[k]. The x window slides by one sample per
+// output — heavy group-spatial reuse along k.
+func FIR() *loopir.Nest {
+	i, k := loopir.Var("i"), loopir.Var("k")
+	return &loopir.Nest{
+		Name: "fir",
+		Arrays: []loopir.Array{
+			{Name: "x", Dims: []int{320}},
+			{Name: "h", Dims: []int{64}},
+			{Name: "y", Dims: []int{256}},
+		},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("i", 0, 255),
+			loopir.ConstLoop("k", 0, 63),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("x", loopir.Affine(0, "i", 1, "k", 1)),
+			loopir.Read("h", k),
+			loopir.Read("y", i),
+			loopir.Store("y", i),
+		},
+	}
+}
+
+// Conv2D is a 3×3 convolution over a 30×30 output window of a 32×32
+// image: out[i][j] += img[i+u][j+v]·coef[u][v].
+func Conv2D() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	u, v := loopir.Var("u"), loopir.Var("v")
+	return &loopir.Nest{
+		Name: "conv2d",
+		Arrays: []loopir.Array{
+			{Name: "img", Dims: []int{32, 32}},
+			{Name: "coef", Dims: []int{3, 3}},
+			{Name: "out", Dims: []int{30, 30}},
+		},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("i", 0, 29),
+			loopir.ConstLoop("j", 0, 29),
+			loopir.ConstLoop("u", 0, 2),
+			loopir.ConstLoop("v", 0, 2),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("img", loopir.Affine(0, "i", 1, "u", 1), loopir.Affine(0, "j", 1, "v", 1)),
+			loopir.Read("coef", u, v),
+			loopir.Read("out", i, j),
+			loopir.Store("out", i, j),
+		},
+	}
+}
+
+// LU is the k-loop-outer right-looking LU update on a 24×24 matrix,
+// restricted (for the affine IR) to the full trailing-submatrix sweep:
+// a[i][j] -= a[i][k]·a[k][j]. The triangular iteration space of real LU
+// is approximated by the rectangular sweep, which preserves the
+// row-versus-column mixed-stride pattern that makes LU interesting for
+// cache studies.
+func LU() *loopir.Nest {
+	i, j, k := loopir.Var("i"), loopir.Var("j"), loopir.Var("k")
+	return &loopir.Nest{
+		Name:   "lu",
+		Arrays: []loopir.Array{{Name: "a", Dims: []int{24, 24}}},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("k", 0, 7),
+			loopir.ConstLoop("i", 8, 23),
+			loopir.ConstLoop("j", 8, 23),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("a", i, k),
+			loopir.Read("a", k, j),
+			loopir.Read("a", i, j),
+			loopir.Store("a", i, j),
+		},
+	}
+}
+
+// DCT2DRow is the row pass of a block 2D DCT over a 32×32 image of 8×8
+// blocks: for each block row, tmp[b][i][j] += img[b][i][k]·cs[k][j].
+func DCT2DRow() *loopir.Nest {
+	b, i, j, k := loopir.Var("b"), loopir.Var("i"), loopir.Var("j"), loopir.Var("k")
+	return &loopir.Nest{
+		Name: "dct2drow",
+		Arrays: []loopir.Array{
+			{Name: "img", Dims: []int{4, 8, 8}},
+			{Name: "cs", Dims: []int{8, 8}},
+			{Name: "tmp", Dims: []int{4, 8, 8}},
+		},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("b", 0, 3),
+			loopir.ConstLoop("i", 0, 7),
+			loopir.ConstLoop("j", 0, 7),
+			loopir.ConstLoop("k", 0, 7),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("img", b, i, k),
+			loopir.Read("cs", k, j),
+			loopir.Read("tmp", b, i, j),
+			loopir.Store("tmp", b, i, j),
+		},
+	}
+}
+
+// MotionEst is a full-search motion estimation inner kernel: for each
+// candidate displacement (u, v) in an 8×8 search window, accumulate the
+// absolute difference of a 16×16 block against the reference frame —
+// sad[u][v] += |cur[i][j] − ref[i+u][j+v]|.
+func MotionEst() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	u, v := loopir.Var("u"), loopir.Var("v")
+	return &loopir.Nest{
+		Name: "motionest",
+		Arrays: []loopir.Array{
+			{Name: "cur", Dims: []int{16, 16}},
+			{Name: "refw", Dims: []int{24, 24}},
+			{Name: "sad", Dims: []int{8, 8}},
+		},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("u", 0, 7),
+			loopir.ConstLoop("v", 0, 7),
+			loopir.ConstLoop("i", 0, 15),
+			loopir.ConstLoop("j", 0, 15),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("cur", i, j),
+			loopir.Read("refw", loopir.Affine(0, "i", 1, "u", 1), loopir.Affine(0, "j", 1, "v", 1)),
+			loopir.Read("sad", u, v),
+			loopir.Store("sad", u, v),
+		},
+	}
+}
+
+// Histogram8 is an 8-bin histogram pass approximated affinely: the input
+// stream is read sequentially and a per-chunk bin is updated (real
+// histograms index bins by data value, which an affine IR cannot express;
+// the chunked form preserves the read-stream/update-point mix).
+func Histogram8() *loopir.Nest {
+	c, i := loopir.Var("c"), loopir.Var("i")
+	return &loopir.Nest{
+		Name: "histogram8",
+		Arrays: []loopir.Array{
+			{Name: "in", Dims: []int{8, 32}},
+			{Name: "bins", Dims: []int{8}},
+		},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("c", 0, 7),
+			loopir.ConstLoop("i", 0, 31),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("in", c, i),
+			loopir.Read("bins", c),
+			loopir.Store("bins", c),
+		},
+	}
+}
+
+// ExtraBenchmarks returns the extension kernels (not part of the paper's
+// figures).
+func ExtraBenchmarks() []*loopir.Nest {
+	return []*loopir.Nest{FIR(), Conv2D(), LU(), DCT2DRow(), MotionEst(), Histogram8()}
+}

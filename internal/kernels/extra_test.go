@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"testing"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/loopir"
+	"memexplore/internal/reuse"
+)
+
+func TestExtraBenchmarksRegistered(t *testing.T) {
+	extras := ExtraBenchmarks()
+	if len(extras) != 6 {
+		t.Fatalf("extras = %d, want 6", len(extras))
+	}
+	for _, n := range extras {
+		if _, err := ByName(n.Name); err != nil {
+			t.Errorf("%s not in registry: %v", n.Name, err)
+		}
+	}
+}
+
+func TestFIRWindowReuse(t *testing.T) {
+	n := FIR()
+	refs, err := n.References()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs != 256*64*4 {
+		t.Errorf("references = %d, want %d", refs, 256*64*4)
+	}
+	// The 64-tap window (64 bytes) plus h (64) plus y point fit easily in
+	// a 256B cache: the miss rate must be tiny.
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cachesim.RunTrace(cachesim.DefaultConfig(256, 8, 4), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MissRate() > 0.02 {
+		t.Errorf("FIR window should be cache-resident: miss rate %v", st.MissRate())
+	}
+}
+
+func TestConv2DCompatibility(t *testing.T) {
+	// conv2d reads img with a single linear part (i+u, j+v) — compatible.
+	ok, err := reuse.Compatible(Conv2D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("conv2d should be compatible")
+	}
+}
+
+func TestLUMixedStrides(t *testing.T) {
+	// LU reads a along rows (a[i][k], a[i][j]) and columns (a[k][j]) —
+	// incompatible by §4.1's definition (two linear parts on one array).
+	ok, err := reuse.Compatible(LU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("lu mixes row and column access; should be incompatible")
+	}
+}
+
+func TestMotionEstWindowOverlap(t *testing.T) {
+	n := MotionEst()
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent candidates re-read 15/16 of the window: with a cache that
+	// holds cur+refw (16·16 + 24·24 = 832 B), almost everything hits.
+	st, err := cachesim.RunTrace(cachesim.DefaultConfig(1024, 16, 4), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MissRate() > 0.01 {
+		t.Errorf("search window should be resident: miss rate %v", st.MissRate())
+	}
+	// And with a tiny cache, the strided window walk thrashes.
+	small, err := cachesim.RunTrace(cachesim.DefaultConfig(64, 16, 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MissRate() < 5*st.MissRate() {
+		t.Errorf("tiny cache should be much worse: %v vs %v", small.MissRate(), st.MissRate())
+	}
+}
+
+func TestExtraKernelsExploreCleanly(t *testing.T) {
+	// Every extra kernel must survive tiling and the layout optimizer at a
+	// couple of geometries (integration with the whole pipeline).
+	for _, n := range ExtraBenchmarks() {
+		n := n
+		t.Run(n.Name, func(t *testing.T) {
+			tiled, err := loopir.TileAll(n, 4)
+			if err != nil {
+				t.Fatalf("tile: %v", err)
+			}
+			if _, err := tiled.Generate(loopir.SequentialLayout(tiled, 0)); err != nil {
+				t.Fatalf("generate tiled: %v", err)
+			}
+		})
+	}
+}

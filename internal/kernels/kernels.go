@@ -1,0 +1,211 @@
+// Package kernels defines the benchmark workloads of the paper as loopir
+// nests: the five loop kernels of the exploration study (§2–4: Compress,
+// Matrix Multiplication, PDE, SOR, Dequant — all with 31×31 iteration
+// spaces), the two worked examples (Matrix Addition §4.1, Transpose §4.2),
+// and the nine MPEG decoder kernels of the §5 case study.
+//
+// Element size is 1 byte throughout, matching the paper's address
+// arithmetic (a[32][32] occupies 1024 bytes; a[1][0] sits at offset 32).
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"memexplore/internal/loopir"
+)
+
+// Compress is the paper's Example 1:
+//
+//	int a[32][32]
+//	for i = 1, 31
+//	  for j = 1, 31
+//	    a[i][j] = a[i][j] - a[i-1][j] - a[i][j-1] - 2*a[i-1][j-1]
+//
+// Two §3 equivalence classes: {a[i-1][j-1], a[i-1][j]} and
+// {a[i][j-1], a[i][j]}.
+func Compress() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	im1 := loopir.Affine(-1, "i", 1)
+	jm1 := loopir.Affine(-1, "j", 1)
+	return &loopir.Nest{
+		Name:   "compress",
+		Arrays: []loopir.Array{{Name: "a", Dims: []int{32, 32}}},
+		Loops:  []loopir.Loop{loopir.ConstLoop("i", 1, 31), loopir.ConstLoop("j", 1, 31)},
+		Body: []loopir.Ref{
+			loopir.Read("a", i, j),
+			loopir.Read("a", im1, j),
+			loopir.Read("a", i, jm1),
+			loopir.Read("a", im1, jm1),
+			loopir.Store("a", i, j),
+		},
+	}
+}
+
+// MatMul is the textbook ijk matrix multiplication with a 31×31 (i,j)
+// iteration space: c[i][j] += a[i][k]·b[k][j].
+func MatMul() *loopir.Nest {
+	i, j, k := loopir.Var("i"), loopir.Var("j"), loopir.Var("k")
+	return &loopir.Nest{
+		Name: "matmul",
+		Arrays: []loopir.Array{
+			{Name: "a", Dims: []int{32, 32}},
+			{Name: "b", Dims: []int{32, 32}},
+			{Name: "c", Dims: []int{32, 32}},
+		},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("i", 1, 31),
+			loopir.ConstLoop("j", 1, 31),
+			loopir.ConstLoop("k", 1, 31),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("a", i, k),
+			loopir.Read("b", k, j),
+			loopir.Read("c", i, j),
+			loopir.Store("c", i, j),
+		},
+	}
+}
+
+// PDE is a 2D five-point Jacobi relaxation step (Wolf & Lam [9]):
+// b[i][j] = a[i][j-1] + a[i][j+1] + a[i-1][j] + a[i+1][j] - 4·a[i][j].
+func PDE() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	im1, ip1 := loopir.Affine(-1, "i", 1), loopir.Affine(1, "i", 1)
+	jm1, jp1 := loopir.Affine(-1, "j", 1), loopir.Affine(1, "j", 1)
+	return &loopir.Nest{
+		Name: "pde",
+		Arrays: []loopir.Array{
+			{Name: "a", Dims: []int{33, 33}},
+			{Name: "b", Dims: []int{33, 33}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 1, 31), loopir.ConstLoop("j", 1, 31)},
+		Body: []loopir.Ref{
+			loopir.Read("a", i, jm1),
+			loopir.Read("a", i, jp1),
+			loopir.Read("a", im1, j),
+			loopir.Read("a", ip1, j),
+			loopir.Read("a", i, j),
+			loopir.Store("b", i, j),
+		},
+	}
+}
+
+// SOR is in-place successive over-relaxation on the same five-point
+// stencil: a[i][j] = 0.2·(a[i][j] + a[i-1][j] + a[i+1][j] + a[i][j-1] +
+// a[i][j+1]).
+func SOR() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	im1, ip1 := loopir.Affine(-1, "i", 1), loopir.Affine(1, "i", 1)
+	jm1, jp1 := loopir.Affine(-1, "j", 1), loopir.Affine(1, "j", 1)
+	return &loopir.Nest{
+		Name:   "sor",
+		Arrays: []loopir.Array{{Name: "a", Dims: []int{33, 33}}},
+		Loops:  []loopir.Loop{loopir.ConstLoop("i", 1, 31), loopir.ConstLoop("j", 1, 31)},
+		Body: []loopir.Ref{
+			loopir.Read("a", i, j),
+			loopir.Read("a", im1, j),
+			loopir.Read("a", ip1, j),
+			loopir.Read("a", i, jm1),
+			loopir.Read("a", i, jp1),
+			loopir.Store("a", i, j),
+		},
+	}
+}
+
+// Dequant is the inverse-quantization kernel from Panda/Dutt [1]:
+// block[i][j] = block[i][j]·quant[i][j], over the paper's 31×31 iteration
+// space.
+func Dequant() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	return &loopir.Nest{
+		Name: "dequant",
+		Arrays: []loopir.Array{
+			{Name: "block", Dims: []int{32, 32}},
+			{Name: "quant", Dims: []int{32, 32}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 1, 31), loopir.ConstLoop("j", 1, 31)},
+		Body: []loopir.Ref{
+			loopir.Read("block", i, j),
+			loopir.Read("quant", i, j),
+			loopir.Store("block", i, j),
+		},
+	}
+}
+
+// MatAdd is the paper's Example 2 (§4.1): int a[6][6], b[6][6], c[6][6];
+// c[i][j] = a[i][j] + b[i][j].
+func MatAdd() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	return &loopir.Nest{
+		Name: "matadd",
+		Arrays: []loopir.Array{
+			{Name: "a", Dims: []int{6, 6}},
+			{Name: "b", Dims: []int{6, 6}},
+			{Name: "c", Dims: []int{6, 6}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 5), loopir.ConstLoop("j", 0, 5)},
+		Body: []loopir.Ref{
+			loopir.Read("a", i, j),
+			loopir.Read("b", i, j),
+			loopir.Store("c", i, j),
+		},
+	}
+}
+
+// Transpose is the paper's Example 3(a): a[i][j] = b[j][i] — the kernel
+// whose stride-N access to b motivates tiling (§4.2). n is the extent of
+// both loops (the paper leaves it symbolic).
+func Transpose(n int) *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	return &loopir.Nest{
+		Name: "transpose",
+		Arrays: []loopir.Array{
+			{Name: "a", Dims: []int{n + 1, n + 1}},
+			{Name: "b", Dims: []int{n + 1, n + 1}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 1, n), loopir.ConstLoop("j", 1, n)},
+		Body: []loopir.Ref{
+			loopir.Read("b", j, i),
+			loopir.Store("a", i, j),
+		},
+	}
+}
+
+// PaperBenchmarks returns the five §2–4 exploration kernels in the order
+// the paper's figures list them.
+func PaperBenchmarks() []*loopir.Nest {
+	return []*loopir.Nest{Compress(), MatMul(), PDE(), SOR(), Dequant()}
+}
+
+// All returns every standalone kernel (paper benchmarks, worked examples,
+// MPEG kernels and the extension suite), for registry-style consumers.
+func All() []*loopir.Nest {
+	ns := PaperBenchmarks()
+	ns = append(ns, MatAdd(), Transpose(32))
+	for _, k := range MPEGKernels() {
+		ns = append(ns, k.Nest)
+	}
+	ns = append(ns, ExtraBenchmarks()...)
+	return ns
+}
+
+// ByName returns the kernel with the given nest name.
+func ByName(name string) (*loopir.Nest, error) {
+	for _, n := range All() {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown kernel %q (have %v)", name, Names())
+}
+
+// Names returns all registered kernel names, sorted.
+func Names() []string {
+	var names []string
+	for _, n := range All() {
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+	return names
+}

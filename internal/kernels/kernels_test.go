@@ -1,0 +1,210 @@
+package kernels
+
+import (
+	"testing"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/loopir"
+)
+
+func TestAllKernelsValidateAndGenerate(t *testing.T) {
+	for _, n := range All() {
+		n := n
+		t.Run(n.Name, func(t *testing.T) {
+			if err := n.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			refs, err := n.References()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(tr.Len()) != refs {
+				t.Errorf("trace length %d, References() %d", tr.Len(), refs)
+			}
+			if tr.Writes() == 0 {
+				t.Error("kernel issues no writes — every paper kernel stores a result")
+			}
+		})
+	}
+}
+
+func TestPaperBenchmarksIterationSpace(t *testing.T) {
+	// "In all these examples, the iteration space is 31*31" (§3). MatMul
+	// carries an extra reduction loop over k.
+	for _, n := range PaperBenchmarks() {
+		iters, err := n.Iterations()
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		want := int64(31 * 31)
+		if n.Name == "matmul" {
+			want = 31 * 31 * 31
+		}
+		if iters != want {
+			t.Errorf("%s iterations = %d, want %d", n.Name, iters, want)
+		}
+	}
+}
+
+func TestCompressClassesMatchPaper(t *testing.T) {
+	// The §3 worked example: with layout base 0, a[0][0] is address 0 and
+	// a[1][0] is address 32.
+	n := Compress()
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i=1,j=1: the fourth body ref is a[i-1][j-1] = a[0][0] = 0.
+	if got := tr.At(3).Addr; got != 0 {
+		t.Errorf("a[0][0] address = %d, want 0", got)
+	}
+	// a[1][0] would be address 32 (row stride 32).
+	a, _ := n.Array("a")
+	if got := a.RowStrides()[0]; got != 32 {
+		t.Errorf("row stride = %d, want 32", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	n, err := ByName("compress")
+	if err != nil || n.Name != "compress" {
+		t.Fatalf("ByName(compress) = %v, %v", n, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+	names := Names()
+	if len(names) != len(All()) {
+		t.Errorf("Names() length %d, All() %d", len(names), len(All()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestMatAddMatchesPaperExample(t *testing.T) {
+	// §4.1: a stored at 0..35, b and c follow.
+	n := MatAdd()
+	l := loopir.SequentialLayout(n, 0)
+	if l["a"].Base != 0 || l["b"].Base != 36 || l["c"].Base != 72 {
+		t.Errorf("sequential layout = %v, want a=0 b=36 c=72", l)
+	}
+}
+
+func TestTransposeStrides(t *testing.T) {
+	n := Transpose(8)
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Body: read b[j][i], write a[i][j]. At fixed i, consecutive j steps
+	// move b's address by a full row (stride 9) and a's by 1.
+	b0 := tr.At(0).Addr
+	b1 := tr.At(2).Addr
+	if b1-b0 != 9 {
+		t.Errorf("b stride = %d, want 9 (stride-N access)", b1-b0)
+	}
+	a0 := tr.At(1).Addr
+	a1 := tr.At(3).Addr
+	if a1-a0 != 1 {
+		t.Errorf("a stride = %d, want 1", a1-a0)
+	}
+}
+
+func TestMPEGKernels(t *testing.T) {
+	ks := MPEGKernels()
+	if len(ks) != 9 {
+		t.Fatalf("MPEG kernel count = %d, want 9", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if k.Trip <= 0 {
+			t.Errorf("%s trip = %d", k.Nest.Name, k.Trip)
+		}
+		if k.Description == "" {
+			t.Errorf("%s has no description", k.Nest.Name)
+		}
+		if seen[k.Nest.Name] {
+			t.Errorf("duplicate kernel %s", k.Nest.Name)
+		}
+		seen[k.Nest.Name] = true
+		if err := k.Nest.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Nest.Name, err)
+		}
+	}
+	// IDCT runs once per block: 6 × macroblock count.
+	var vldTrip, idctTrip int64
+	for _, k := range ks {
+		switch k.Nest.Name {
+		case "mpeg_vld":
+			vldTrip = k.Trip
+		case "mpeg_idct":
+			idctTrip = k.Trip
+		}
+	}
+	if idctTrip != 6*vldTrip {
+		t.Errorf("idct trip %d, want 6× vld trip %d", idctTrip, vldTrip)
+	}
+}
+
+func TestKernelsProduceDistinctBehaviour(t *testing.T) {
+	// The §5 aggregation only makes sense if the kernels are actually
+	// heterogeneous: their miss rates on a common small cache must not all
+	// be equal.
+	cfg := cachesim.DefaultConfig(64, 8, 1)
+	rates := map[string]float64{}
+	for _, k := range MPEGKernels() {
+		tr, err := k.Nest.Generate(loopir.SequentialLayout(k.Nest, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Nest.Name, err)
+		}
+		st, err := cachesim.RunTrace(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[k.Nest.Name] = st.MissRate()
+	}
+	distinct := map[float64]bool{}
+	for _, r := range rates {
+		distinct[r] = true
+	}
+	if len(distinct) < 4 {
+		t.Errorf("MPEG kernels too homogeneous: miss rates %v", rates)
+	}
+}
+
+// Every registered kernel must round-trip through the textual nest format
+// (String → Parse → identical trace).
+func TestAllKernelsRoundTripText(t *testing.T) {
+	for _, n := range All() {
+		n := n
+		t.Run(n.Name, func(t *testing.T) {
+			parsed, err := loopir.Parse(n.String())
+			if err != nil {
+				t.Fatalf("Parse(String()): %v\n%s", err, n)
+			}
+			a, err := n.Generate(loopir.SequentialLayout(n, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := parsed.Generate(loopir.SequentialLayout(parsed, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Len() != b.Len() {
+				t.Fatalf("trace lengths differ: %d vs %d", a.Len(), b.Len())
+			}
+			for i := 0; i < a.Len(); i++ {
+				if a.At(i) != b.At(i) {
+					t.Fatalf("ref %d differs", i)
+				}
+			}
+		})
+	}
+}

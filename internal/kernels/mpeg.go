@@ -1,0 +1,228 @@
+package kernels
+
+import "memexplore/internal/loopir"
+
+// The §5 case study decomposes an MPEG decoder into nine kernel programs:
+// VLD, Dequant, IDCT, Plus, Display, Store, and Prediction's Addr, Fetch
+// and Compute. The paper takes them from Thordarson's behavioral MPEG
+// implementation [7], which is not publicly available; the nests below are
+// synthesized equivalents over standard MPEG-1 data shapes (8×8 blocks,
+// 16×16 macroblocks, CIF-sized frame slices) chosen so that each kernel
+// has a distinct access-pattern mix — sequential streaming, table lookup,
+// block transform, strided frame writes — giving the heterogeneous
+// per-kernel optima the §5 aggregation experiment needs. See DESIGN.md
+// "MPEG decoder kernels".
+
+// MPEGKernel couples a kernel nest with its invocation count in one
+// decoded frame — the trip(k) weight of the §5 aggregation formulas.
+type MPEGKernel struct {
+	Nest *loopir.Nest
+	// Trip is how many times the kernel runs per frame: 396 macroblocks
+	// in a CIF frame, 6 blocks per macroblock for block-level kernels.
+	Trip int64
+	// Description summarizes the kernel's role.
+	Description string
+}
+
+// MPEGVLD models variable-length decoding: a sequential scan of the coded
+// bitstream with a decode-table lookup and a coefficient store. The real
+// table lookup is data-dependent (vtab[bits[i]]); the IR is affine-only, so
+// the lookup is modeled as a second sequential stream over a table of the
+// same footprint, which preserves the bus/cache behaviour of a
+// streaming-plus-table kernel.
+func MPEGVLD() *loopir.Nest {
+	i := loopir.Var("i")
+	return &loopir.Nest{
+		Name: "mpeg_vld",
+		Arrays: []loopir.Array{
+			{Name: "bits", Dims: []int{384}},
+			{Name: "vtab", Dims: []int{384}},
+			{Name: "coef", Dims: []int{384}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 383)},
+		Body: []loopir.Ref{
+			loopir.Read("bits", i),
+			loopir.Read("vtab", i),
+			loopir.Store("coef", i),
+		},
+	}
+}
+
+// MPEGDequant is the block-level inverse quantizer: six 8×8 blocks per
+// macroblock, each coefficient scaled by a quantization-table entry.
+func MPEGDequant() *loopir.Nest {
+	b, i, j := loopir.Var("b"), loopir.Var("i"), loopir.Var("j")
+	return &loopir.Nest{
+		Name: "mpeg_dequant",
+		Arrays: []loopir.Array{
+			{Name: "blk", Dims: []int{6, 8, 8}},
+			{Name: "qt", Dims: []int{8, 8}},
+		},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("b", 0, 5),
+			loopir.ConstLoop("i", 0, 7),
+			loopir.ConstLoop("j", 0, 7),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("blk", b, i, j),
+			loopir.Read("qt", i, j),
+			loopir.Store("blk", b, i, j),
+		},
+	}
+}
+
+// MPEGIDCT is one pass of the 8×8 inverse DCT as a small matrix product:
+// tmp[i][j] += blk[i][k]·cs[k][j].
+func MPEGIDCT() *loopir.Nest {
+	i, j, k := loopir.Var("i"), loopir.Var("j"), loopir.Var("k")
+	return &loopir.Nest{
+		Name: "mpeg_idct",
+		Arrays: []loopir.Array{
+			{Name: "blk", Dims: []int{8, 8}},
+			{Name: "cs", Dims: []int{8, 8}},
+			{Name: "tmp", Dims: []int{8, 8}},
+		},
+		Loops: []loopir.Loop{
+			loopir.ConstLoop("i", 0, 7),
+			loopir.ConstLoop("j", 0, 7),
+			loopir.ConstLoop("k", 0, 7),
+		},
+		Body: []loopir.Ref{
+			loopir.Read("blk", i, k),
+			loopir.Read("cs", k, j),
+			loopir.Read("tmp", i, j),
+			loopir.Store("tmp", i, j),
+		},
+	}
+}
+
+// MPEGPlus adds the decoded residual to the motion-compensated prediction
+// over a 16×16 macroblock.
+func MPEGPlus() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	return &loopir.Nest{
+		Name: "mpeg_plus",
+		Arrays: []loopir.Array{
+			{Name: "pred", Dims: []int{16, 16}},
+			{Name: "res", Dims: []int{16, 16}},
+			{Name: "out", Dims: []int{16, 16}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 15), loopir.ConstLoop("j", 0, 15)},
+		Body: []loopir.Ref{
+			loopir.Read("pred", i, j),
+			loopir.Read("res", i, j),
+			loopir.Store("out", i, j),
+		},
+	}
+}
+
+// MPEGDisplay streams a reconstructed frame slice out to the display
+// buffer: long sequential reads, one write per pixel.
+func MPEGDisplay() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	return &loopir.Nest{
+		Name: "mpeg_display",
+		Arrays: []loopir.Array{
+			{Name: "frame", Dims: []int{64, 64}},
+			{Name: "screen", Dims: []int{64, 64}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 63), loopir.ConstLoop("j", 0, 63)},
+		Body: []loopir.Ref{
+			loopir.Read("frame", i, j),
+			loopir.Store("screen", i, j),
+		},
+	}
+}
+
+// MPEGStore writes a reconstructed 16×16 macroblock into the frame store
+// (strided writes: consecutive macroblock rows are a frame-row apart).
+func MPEGStore() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	return &loopir.Nest{
+		Name: "mpeg_store",
+		Arrays: []loopir.Array{
+			{Name: "mb", Dims: []int{16, 16}},
+			{Name: "frame", Dims: []int{64, 64}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 15), loopir.ConstLoop("j", 0, 15)},
+		Body: []loopir.Ref{
+			loopir.Read("mb", i, j),
+			loopir.Store("frame", i, j),
+		},
+	}
+}
+
+// MPEGAddr is the prediction address generator: a short 1D pass over the
+// motion vectors producing fetch addresses.
+func MPEGAddr() *loopir.Nest {
+	i := loopir.Var("i")
+	return &loopir.Nest{
+		Name: "mpeg_addr",
+		Arrays: []loopir.Array{
+			{Name: "mv", Dims: []int{64}},
+			{Name: "fa", Dims: []int{64}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 63)},
+		Body: []loopir.Ref{
+			loopir.Read("mv", i),
+			loopir.Store("fa", i),
+		},
+	}
+}
+
+// MPEGFetch reads a 17×17 reference window (16×16 plus one row/column for
+// half-pel interpolation) from the reference frame into the prediction
+// buffer.
+func MPEGFetch() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	jp1 := loopir.Affine(1, "j", 1)
+	return &loopir.Nest{
+		Name: "mpeg_fetch",
+		Arrays: []loopir.Array{
+			{Name: "ref", Dims: []int{64, 64}},
+			{Name: "pbuf", Dims: []int{16, 16}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 15), loopir.ConstLoop("j", 0, 15)},
+		Body: []loopir.Ref{
+			loopir.Read("ref", i, j),
+			loopir.Read("ref", i, jp1),
+			loopir.Store("pbuf", i, j),
+		},
+	}
+}
+
+// MPEGCompute averages forward and backward predictions (B-frame
+// interpolation): pred[i][j] = (f[i][j] + bk[i][j])/2.
+func MPEGCompute() *loopir.Nest {
+	i, j := loopir.Var("i"), loopir.Var("j")
+	return &loopir.Nest{
+		Name: "mpeg_compute",
+		Arrays: []loopir.Array{
+			{Name: "f", Dims: []int{16, 16}},
+			{Name: "bk", Dims: []int{16, 16}},
+			{Name: "pred", Dims: []int{16, 16}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 15), loopir.ConstLoop("j", 0, 15)},
+		Body: []loopir.Ref{
+			loopir.Read("f", i, j),
+			loopir.Read("bk", i, j),
+			loopir.Store("pred", i, j),
+		},
+	}
+}
+
+// MPEGKernels returns the nine decoder kernels with per-frame trip counts
+// for a CIF-sized frame (396 macroblocks, 6 blocks per macroblock).
+func MPEGKernels() []MPEGKernel {
+	return []MPEGKernel{
+		{Nest: MPEGVLD(), Trip: 396, Description: "variable-length decode of one macroblock's coefficients"},
+		{Nest: MPEGDequant(), Trip: 396, Description: "inverse quantization of the 6 blocks of a macroblock"},
+		{Nest: MPEGIDCT(), Trip: 2376, Description: "one 8×8 inverse-DCT pass per block"},
+		{Nest: MPEGPlus(), Trip: 396, Description: "residual + prediction per macroblock"},
+		{Nest: MPEGDisplay(), Trip: 4, Description: "stream a 64×64 reconstructed slice to the display"},
+		{Nest: MPEGStore(), Trip: 396, Description: "write the reconstructed macroblock to the frame store"},
+		{Nest: MPEGAddr(), Trip: 396, Description: "prediction address generation from motion vectors"},
+		{Nest: MPEGFetch(), Trip: 396, Description: "reference-window fetch with half-pel neighbor"},
+		{Nest: MPEGCompute(), Trip: 198, Description: "bidirectional prediction interpolation"},
+	}
+}

@@ -1,0 +1,32 @@
+package loopir
+
+import "testing"
+
+// BenchmarkGenerate measures address-stream generation throughput.
+func BenchmarkGenerate(b *testing.B) {
+	n := transposeNest(64)
+	lay := SequentialLayout(n, 0)
+	refs, err := n.References()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(refs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Generate(lay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures nest-text parsing.
+func BenchmarkParse(b *testing.B) {
+	src := transposeNest(64).String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package loopir
+
+import (
+	"fmt"
+
+	"memexplore/internal/trace"
+)
+
+// Placement positions one array in off-chip memory: a base byte address
+// and, optionally, padded per-dimension strides. The paper's §4.1
+// assignment works exactly by padding — in its Compress example a[1][0] is
+// moved from address 32 to 36, i.e. the row stride grows from 32 to 36
+// bytes, leaving dead addresses that buy conflict freedom.
+type Placement struct {
+	// Base is the byte address of element [0][0]…[0].
+	Base uint64
+	// StrideBytes overrides the byte distance between consecutive indices
+	// of each dimension. nil means the natural packed row-major strides
+	// (RowStrides() · ElemBytes). If set, it must have one entry per
+	// dimension and each stride must be at least the natural one.
+	StrideBytes []int
+}
+
+// FootprintBytes returns how many bytes of memory the placement of array a
+// spans, padding included.
+func (p Placement) FootprintBytes(a Array) int {
+	if p.StrideBytes == nil {
+		return a.SizeBytes()
+	}
+	end := a.ElementBytes()
+	for d, ext := range a.Dims {
+		end += (ext - 1) * p.StrideBytes[d]
+	}
+	return end
+}
+
+// Layout assigns a Placement to every array of a nest. It is the off-chip
+// data organization of the paper's §4.1: the exploration varies it (via
+// internal/layout) to eliminate conflict misses.
+type Layout map[string]Placement
+
+// SequentialLayout packs the arrays contiguously in declaration order
+// starting at the given base, with natural strides — the "unoptimized"
+// layout of the paper's Figures 5 and 9.
+func SequentialLayout(n *Nest, base uint64) Layout {
+	l := Layout{}
+	addr := base
+	for _, a := range n.Arrays {
+		l[a.Name] = Placement{Base: addr}
+		addr += uint64(a.SizeBytes())
+	}
+	return l
+}
+
+// Visit executes the nest and calls fn for every reference of every
+// innermost iteration, passing the evaluated per-dimension indices.
+// Execution stops at the first error.
+func (n *Nest) Visit(fn func(r Ref, idx []int) error) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	env := make(map[string]int, len(n.Loops))
+	idxBuf := make([]int, 8)
+	var run func(depth int) error
+	run = func(depth int) error {
+		if depth == len(n.Loops) {
+			for _, r := range n.Body {
+				if cap(idxBuf) < len(r.Index) {
+					idxBuf = make([]int, len(r.Index))
+				}
+				idx := idxBuf[:len(r.Index)]
+				for d, e := range r.Index {
+					v, err := e.Eval(env)
+					if err != nil {
+						return err
+					}
+					idx[d] = v
+				}
+				if err := fn(r, idx); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		l := n.Loops[depth]
+		lo, err := l.Lo.Eval(env)
+		if err != nil {
+			return err
+		}
+		hi, err := l.Hi.Eval(env)
+		if err != nil {
+			return err
+		}
+		for v := lo; v <= hi; v += l.Step {
+			env[l.Var] = v
+			if err := run(depth + 1); err != nil {
+				return err
+			}
+		}
+		delete(env, l.Var)
+		return nil
+	}
+	return run(0)
+}
+
+// Iterations counts the innermost iterations the nest executes.
+func (n *Nest) Iterations() (int64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	// Count by visiting; bodies are cheap and bounds may be affine, so
+	// a closed form is not generally available.
+	var iters int64
+	body := len(n.Body)
+	err := n.Visit(func(Ref, []int) error { iters++; return nil })
+	if err != nil {
+		return 0, err
+	}
+	return iters / int64(body), nil
+}
+
+// References counts the total memory references the nest issues — the
+// trip_count of the paper's formulas under per-reference accounting.
+func (n *Nest) References() (int64, error) {
+	iters, err := n.Iterations()
+	if err != nil {
+		return 0, err
+	}
+	return iters * int64(len(n.Body)), nil
+}
+
+// Generate executes the nest under the given layout and returns the
+// reference trace. Every reference is bounds-checked against its array
+// declaration; an out-of-range index is an error (it means the kernel
+// definition is wrong).
+func (n *Nest) Generate(layout Layout) (*trace.Trace, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	type compiledArray struct {
+		base    uint64
+		dims    []int
+		strides []int
+		elem    int
+	}
+	arrays := make(map[string]compiledArray, len(n.Arrays))
+	for _, a := range n.Arrays {
+		p, ok := layout[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("loopir: layout for nest %q is missing array %q", n.Name, a.Name)
+		}
+		strides := a.RowStrides()
+		elem := a.ElementBytes()
+		byteStrides := make([]int, len(strides))
+		for d := range strides {
+			byteStrides[d] = strides[d] * elem
+		}
+		if p.StrideBytes != nil {
+			if len(p.StrideBytes) != len(a.Dims) {
+				return nil, fmt.Errorf("loopir: placement of %q has %d strides, array has %d dims",
+					a.Name, len(p.StrideBytes), len(a.Dims))
+			}
+			// Strides must not make distinct elements overlap: from the
+			// innermost dimension outward, each stride must cover the
+			// whole (possibly padded) extent of the next inner dimension.
+			minStride := elem
+			for d := len(a.Dims) - 1; d >= 0; d-- {
+				s := p.StrideBytes[d]
+				if s < minStride {
+					return nil, fmt.Errorf("loopir: placement of %q: stride %d of dimension %d is below the minimum %d (elements would overlap)",
+						a.Name, s, d, minStride)
+				}
+				byteStrides[d] = s
+				minStride = s * a.Dims[d]
+			}
+		}
+		arrays[a.Name] = compiledArray{
+			base:    p.Base,
+			dims:    a.Dims,
+			strides: byteStrides,
+			elem:    elem,
+		}
+	}
+	refs, err := n.References()
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New(int(refs))
+	err = n.Visit(func(r Ref, idx []int) error {
+		ca := arrays[r.Array]
+		off := 0
+		for d, v := range idx {
+			if v < 0 || v >= ca.dims[d] {
+				return fmt.Errorf("loopir: nest %q ref %s: index %d out of range [0,%d) in dimension %d",
+					n.Name, r, v, ca.dims[d], d)
+			}
+			off += v * ca.strides[d]
+		}
+		kind := trace.Read
+		if r.Write {
+			kind = trace.Write
+		}
+		tr.Append(trace.Ref{
+			Addr: ca.base + uint64(off),
+			Kind: kind,
+			Size: uint8(ca.elem),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,155 @@
+// Package loopir is a small intermediate representation for affine loop
+// nests over arrays — the workload language of the reproduction. The
+// paper's benchmarks (Compress, Matrix Multiplication, PDE, SOR, Dequant,
+// the MPEG decoder kernels) are expressed as Nest values; the package
+// executes a nest to produce the memory-reference trace the cache
+// simulator consumes, and implements the loop transformations the paper
+// explores (tiling §4.2, interchange).
+//
+// Index expressions are affine (a[H·i + c] in the paper's §3 notation), so
+// the reuse analysis in internal/reuse can read the H rows and constant
+// vectors straight off the IR.
+package loopir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an affine expression over loop variables:
+// sum(Coef[v]·v) + Const.
+type Expr struct {
+	// Coef maps loop-variable names to integer coefficients. Absent
+	// variables have coefficient zero. A nil map is a constant expression.
+	Coef map[string]int
+	// Const is the additive constant.
+	Const int
+}
+
+// Const returns a constant expression.
+func Const(c int) Expr { return Expr{Const: c} }
+
+// Var returns the expression 1·name + 0.
+func Var(name string) Expr { return Expr{Coef: map[string]int{name: 1}} }
+
+// Affine builds c + sum(coef_i·var_i) from alternating (name, coef) pairs.
+// Affine("i", 1, "j", -2) with cst 3 means i - 2j + 3.
+func Affine(cst int, pairs ...any) Expr {
+	if len(pairs)%2 != 0 {
+		panic("loopir.Affine: pairs must alternate name, coefficient")
+	}
+	e := Expr{Const: cst, Coef: map[string]int{}}
+	for k := 0; k < len(pairs); k += 2 {
+		name, ok := pairs[k].(string)
+		if !ok {
+			panic(fmt.Sprintf("loopir.Affine: pair %d: want variable name string, got %T", k/2, pairs[k]))
+		}
+		coef, ok := pairs[k+1].(int)
+		if !ok {
+			panic(fmt.Sprintf("loopir.Affine: pair %d: want int coefficient, got %T", k/2, pairs[k+1]))
+		}
+		e.Coef[name] += coef
+	}
+	return e
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	r := Expr{Const: e.Const + o.Const, Coef: map[string]int{}}
+	for v, c := range e.Coef {
+		r.Coef[v] += c
+	}
+	for v, c := range o.Coef {
+		r.Coef[v] += c
+	}
+	return r
+}
+
+// AddConst returns e + c.
+func (e Expr) AddConst(c int) Expr {
+	r := e.clone()
+	r.Const += c
+	return r
+}
+
+func (e Expr) clone() Expr {
+	r := Expr{Const: e.Const}
+	if e.Coef != nil {
+		r.Coef = make(map[string]int, len(e.Coef))
+		for v, c := range e.Coef {
+			r.Coef[v] = c
+		}
+	}
+	return r
+}
+
+// CoefOf returns the coefficient of the named variable (0 if absent).
+func (e Expr) CoefOf(name string) int { return e.Coef[name] }
+
+// Vars returns the variables with non-zero coefficients, sorted.
+func (e Expr) Vars() []string {
+	var vs []string
+	for v, c := range e.Coef {
+		if c != 0 {
+			vs = append(vs, v)
+		}
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// IsConst reports whether the expression has no variable terms.
+func (e Expr) IsConst() bool { return len(e.Vars()) == 0 }
+
+// Eval evaluates the expression under the given environment. Unbound
+// variables with non-zero coefficients are an error.
+func (e Expr) Eval(env map[string]int) (int, error) {
+	v := e.Const
+	for name, c := range e.Coef {
+		if c == 0 {
+			continue
+		}
+		val, ok := env[name]
+		if !ok {
+			return 0, fmt.Errorf("loopir: unbound variable %q in expression %s", name, e)
+		}
+		v += c * val
+	}
+	return v, nil
+}
+
+// String renders the expression, e.g. "i - 2j + 3".
+func (e Expr) String() string {
+	var sb strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		c := e.Coef[v]
+		switch {
+		case first && c == 1:
+			sb.WriteString(v)
+		case first && c == -1:
+			sb.WriteString("-" + v)
+		case first:
+			fmt.Fprintf(&sb, "%d%s", c, v)
+		case c == 1:
+			sb.WriteString(" + " + v)
+		case c == -1:
+			sb.WriteString(" - " + v)
+		case c > 0:
+			fmt.Fprintf(&sb, " + %d%s", c, v)
+		default:
+			fmt.Fprintf(&sb, " - %d%s", -c, v)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&sb, "%d", e.Const)
+	case e.Const > 0:
+		fmt.Fprintf(&sb, " + %d", e.Const)
+	case e.Const < 0:
+		fmt.Fprintf(&sb, " - %d", -e.Const)
+	}
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package loopir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprEval(t *testing.T) {
+	e := Affine(3, "i", 2, "j", -1)
+	got, err := e.Eval(map[string]int{"i": 5, "j": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3+10-4 {
+		t.Errorf("Eval = %d, want 9", got)
+	}
+	if _, err := e.Eval(map[string]int{"i": 5}); err == nil {
+		t.Error("unbound variable should fail")
+	}
+	// Zero-coefficient variables don't need bindings.
+	z := Affine(1, "k", 0)
+	if v, err := z.Eval(nil); err != nil || v != 1 {
+		t.Errorf("zero-coef eval = %d, %v", v, err)
+	}
+}
+
+func TestExprConstructors(t *testing.T) {
+	if v, _ := Const(7).Eval(nil); v != 7 {
+		t.Error("Const")
+	}
+	if v, _ := Var("i").Eval(map[string]int{"i": 3}); v != 3 {
+		t.Error("Var")
+	}
+	if !Const(1).IsConst() {
+		t.Error("Const should be IsConst")
+	}
+	if Var("i").IsConst() {
+		t.Error("Var should not be IsConst")
+	}
+	if got := Var("i").CoefOf("i"); got != 1 {
+		t.Errorf("CoefOf = %d", got)
+	}
+	if got := Var("i").CoefOf("j"); got != 0 {
+		t.Errorf("CoefOf missing = %d", got)
+	}
+}
+
+func TestAffinePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("odd pairs", func() { Affine(0, "i") })
+	assertPanics("non-string name", func() { Affine(0, 1, 2) })
+	assertPanics("non-int coef", func() { Affine(0, "i", "j") })
+}
+
+func TestExprAdd(t *testing.T) {
+	a := Affine(1, "i", 2)
+	b := Affine(3, "i", -2, "j", 5)
+	sum := a.Add(b)
+	if got := sum.CoefOf("i"); got != 0 {
+		t.Errorf("i coef = %d, want 0", got)
+	}
+	if got := sum.CoefOf("j"); got != 5 {
+		t.Errorf("j coef = %d, want 5", got)
+	}
+	if sum.Const != 4 {
+		t.Errorf("const = %d, want 4", sum.Const)
+	}
+	c := a.AddConst(10)
+	if c.Const != 11 || a.Const != 1 {
+		t.Errorf("AddConst should not mutate: a=%d c=%d", a.Const, c.Const)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Const(0), "0"},
+		{Const(-3), "-3"},
+		{Var("i"), "i"},
+		{Affine(0, "i", -1), "-i"},
+		{Affine(3, "i", 1), "i + 3"},
+		{Affine(-1, "i", 1, "j", -2), "i - 2j - 1"},
+		{Affine(0, "i", 2, "j", 1), "2i + j"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprVarsSorted(t *testing.T) {
+	e := Affine(0, "z", 1, "a", 1, "m", 1)
+	vs := e.Vars()
+	want := []string{"a", "m", "z"}
+	if len(vs) != 3 {
+		t.Fatalf("Vars = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Errorf("Vars = %v, want %v", vs, want)
+		}
+	}
+}
+
+// Property: Add evaluates to the sum of evaluations.
+func TestQuickExprAddDistributes(t *testing.T) {
+	f := func(c1, c2, k1, k2 int8, i, j int8) bool {
+		a := Affine(int(c1), "i", int(k1))
+		b := Affine(int(c2), "j", int(k2))
+		env := map[string]int{"i": int(i), "j": int(j)}
+		va, err1 := a.Eval(env)
+		vb, err2 := b.Eval(env)
+		vs, err3 := a.Add(b).Eval(env)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return vs == va+vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

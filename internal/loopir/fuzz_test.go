@@ -1,0 +1,51 @@
+package loopir
+
+import "testing"
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// anything it accepts validates and re-parses from its own String().
+func FuzzParse(f *testing.F) {
+	f.Add("// k\nint8 a[8]\nfor i = 0, 7\na[i]\n")
+	f.Add("int8 a[4][4]\nfor i = 0, 3\nfor j = 0, 3, step 2\na[i][j] (w)\n")
+	f.Add("for i = 0, min(t + 3, 9)\n")
+	f.Add("int8 a[0]\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("Parse accepted a nest that fails Validate: %v", err)
+		}
+		// Accepted nests must round-trip through their textual form.
+		again, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("re-parsing String() failed: %v\n%s", err, n.String())
+		}
+		if again.Depth() != n.Depth() || len(again.Body) != len(n.Body) {
+			t.Fatalf("round trip changed shape: %d/%d loops, %d/%d refs",
+				again.Depth(), n.Depth(), len(again.Body), len(n.Body))
+		}
+	})
+}
+
+// FuzzParseExpr checks the expression parser never panics and accepted
+// expressions round-trip through String().
+func FuzzParseExpr(f *testing.F) {
+	f.Add("i + 3")
+	f.Add("-2j")
+	f.Add("2*i - j + 1")
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		again, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q) failed: %v", e.String(), src, err)
+		}
+		if again.String() != e.String() {
+			t.Fatalf("round trip changed expression: %q -> %q", e.String(), again.String())
+		}
+	})
+}

@@ -1,0 +1,357 @@
+package loopir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a loop nest from its textual form — the same syntax
+// Nest.String() prints, so Parse(n.String()) round-trips:
+//
+//	// compress
+//	int8 a[32][32]
+//	for i = 1, 31
+//	  for j = 1, 31
+//	    a[i][j], a[i - 1][j], a[i][j - 1], a[i - 1][j - 1], a[i][j] (w)
+//
+// Grammar, line by line (indentation and blank lines are ignored; '#'
+// also starts a comment):
+//
+//	"// <name>"                          nest name (first non-blank line)
+//	"int<B> <name>[d1][d2]…"             array with B-bit elements
+//	"for <v> = <bound>, <bound>[, step N]"  loop level, outermost first
+//	"<ref>, <ref>, …"                    the body (final line)
+//
+// A bound is an affine expression over outer loop variables, optionally
+// "min(<expr>, <int>)". A ref is "<array>[<expr>]…" with an optional
+// " (w)" marking a write. Expressions use integer constants, variables,
+// "+", "-", and "N<var>" / "N*<var>" products.
+func Parse(src string) (*Nest, error) {
+	return ParseReader(strings.NewReader(src))
+}
+
+// ParseReader is Parse over an io.Reader.
+func ParseReader(r io.Reader) (*Nest, error) {
+	n := &Nest{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	sawBody := false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "//"):
+			if n.Name == "" {
+				n.Name = strings.TrimSpace(strings.TrimPrefix(line, "//"))
+			}
+			continue
+		case strings.HasPrefix(line, "int"):
+			a, err := parseArray(line)
+			if err != nil {
+				return nil, fmt.Errorf("loopir: line %d: %w", lineno, err)
+			}
+			n.Arrays = append(n.Arrays, a)
+		case strings.HasPrefix(line, "for "):
+			if sawBody {
+				return nil, fmt.Errorf("loopir: line %d: loop after body", lineno)
+			}
+			l, err := parseLoop(line)
+			if err != nil {
+				return nil, fmt.Errorf("loopir: line %d: %w", lineno, err)
+			}
+			n.Loops = append(n.Loops, l)
+		default:
+			if sawBody {
+				return nil, fmt.Errorf("loopir: line %d: multiple body lines", lineno)
+			}
+			refs, err := parseBody(line)
+			if err != nil {
+				return nil, fmt.Errorf("loopir: line %d: %w", lineno, err)
+			}
+			n.Body = refs
+			sawBody = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loopir: reading nest: %w", err)
+	}
+	if n.Name == "" {
+		n.Name = "parsed"
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// parseArray parses "int8 a[32][32]".
+func parseArray(line string) (Array, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return Array{}, fmt.Errorf("array declaration %q: want \"int<B> name[dims]\"", line)
+	}
+	bits, err := strconv.Atoi(strings.TrimPrefix(fields[0], "int"))
+	if err != nil || bits <= 0 || bits%8 != 0 {
+		return Array{}, fmt.Errorf("array declaration %q: bad element width %q", line, fields[0])
+	}
+	name, dims, err := parseIndexedName(fields[1])
+	if err != nil {
+		return Array{}, err
+	}
+	a := Array{Name: name, ElemBytes: bits / 8}
+	for _, d := range dims {
+		v, err := strconv.Atoi(strings.TrimSpace(d))
+		if err != nil {
+			return Array{}, fmt.Errorf("array %q: bad dimension %q", name, d)
+		}
+		a.Dims = append(a.Dims, v)
+	}
+	return a, nil
+}
+
+// parseIndexedName splits "a[32][32]" into "a" and {"32", "32"}.
+func parseIndexedName(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 {
+		return "", nil, fmt.Errorf("%q: missing dimensions", s)
+	}
+	name := s[:open]
+	if name == "" {
+		return "", nil, fmt.Errorf("%q: empty name", s)
+	}
+	var parts []string
+	rest := s[open:]
+	for rest != "" {
+		if rest[0] != '[' {
+			return "", nil, fmt.Errorf("%q: expected '[' at %q", s, rest)
+		}
+		depth := 0
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+				if depth == 0 {
+					end = i
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, fmt.Errorf("%q: unbalanced brackets", s)
+		}
+		parts = append(parts, rest[1:end])
+		rest = rest[end+1:]
+	}
+	return name, parts, nil
+}
+
+// parseLoop parses "for i = lo, hi" or "for i = lo, hi, step N".
+func parseLoop(line string) (Loop, error) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "for "))
+	eq := strings.IndexByte(body, '=')
+	if eq < 0 {
+		return Loop{}, fmt.Errorf("loop %q: missing '='", line)
+	}
+	v := strings.TrimSpace(body[:eq])
+	if v == "" {
+		return Loop{}, fmt.Errorf("loop %q: missing variable", line)
+	}
+	rest := body[eq+1:]
+	parts := splitTopLevel(rest, ',')
+	if len(parts) < 2 || len(parts) > 3 {
+		return Loop{}, fmt.Errorf("loop %q: want \"lo, hi[, step N]\"", line)
+	}
+	lo, err := parseBound(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Loop{}, fmt.Errorf("loop %q: lower bound: %w", line, err)
+	}
+	hi, err := parseBound(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Loop{}, fmt.Errorf("loop %q: upper bound: %w", line, err)
+	}
+	step := 1
+	if len(parts) == 3 {
+		s := strings.TrimSpace(parts[2])
+		s = strings.TrimSpace(strings.TrimPrefix(s, "step"))
+		step, err = strconv.Atoi(s)
+		if err != nil {
+			return Loop{}, fmt.Errorf("loop %q: bad step %q", line, s)
+		}
+	}
+	return Loop{Var: v, Lo: lo, Hi: hi, Step: step}, nil
+}
+
+// splitTopLevel splits on sep outside parentheses/brackets.
+func splitTopLevel(s string, sep byte) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// parseBound parses an affine bound, optionally "min(expr, int)".
+func parseBound(s string) (Bound, error) {
+	if strings.HasPrefix(s, "min(") && strings.HasSuffix(s, ")") {
+		inner := s[len("min(") : len(s)-1]
+		parts := splitTopLevel(inner, ',')
+		if len(parts) != 2 {
+			return Bound{}, fmt.Errorf("min bound %q: want min(expr, cap)", s)
+		}
+		e, err := ParseExpr(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return Bound{}, err
+		}
+		cap, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return Bound{}, fmt.Errorf("min bound %q: bad cap: %w", s, err)
+		}
+		return CappedBound(e, cap), nil
+	}
+	e, err := ParseExpr(s)
+	if err != nil {
+		return Bound{}, err
+	}
+	return ExprBound(e), nil
+}
+
+// parseBody parses "a[i][j], b[j][i] (w)".
+func parseBody(line string) ([]Ref, error) {
+	var refs []Ref
+	for _, part := range splitTopLevel(line, ',') {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("body %q: empty reference", line)
+		}
+		write := false
+		if strings.HasSuffix(part, "(w)") {
+			write = true
+			part = strings.TrimSpace(strings.TrimSuffix(part, "(w)"))
+		}
+		name, idxs, err := parseIndexedName(part)
+		if err != nil {
+			return nil, fmt.Errorf("body reference %q: %w", part, err)
+		}
+		r := Ref{Array: name, Write: write}
+		for _, idx := range idxs {
+			e, err := ParseExpr(strings.TrimSpace(idx))
+			if err != nil {
+				return nil, fmt.Errorf("body reference %q: %w", part, err)
+			}
+			r.Index = append(r.Index, e)
+		}
+		refs = append(refs, r)
+	}
+	return refs, nil
+}
+
+// ParseExpr parses an affine expression: terms of the form "3", "i",
+// "2i", "2*i" joined by "+" and "-".
+func ParseExpr(s string) (Expr, error) {
+	e := Expr{Coef: map[string]int{}}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Expr{}, fmt.Errorf("empty expression")
+	}
+	i := 0
+	sign := 1
+	first := true
+	for i < len(s) {
+		// Skip spaces.
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		// Sign.
+		switch s[i] {
+		case '+':
+			if first {
+				return Expr{}, fmt.Errorf("expression %q: leading '+'", s)
+			}
+			sign = 1
+			i++
+			continue
+		case '-':
+			if first {
+				sign = -1
+				i++
+				first = false
+				continue
+			}
+			sign = -1
+			i++
+			continue
+		}
+		first = false
+		// Term: [number]["*"]ident | number.
+		coef := 1
+		hasNum := false
+		start := i
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i > start {
+			v, err := strconv.Atoi(s[start:i])
+			if err != nil {
+				return Expr{}, fmt.Errorf("expression %q: bad number %q", s, s[start:i])
+			}
+			coef = v
+			hasNum = true
+		}
+		expectIdent := false
+		if i < len(s) && s[i] == '*' {
+			if !hasNum {
+				return Expr{}, fmt.Errorf("expression %q: '*' without a coefficient", s)
+			}
+			expectIdent = true
+			i++
+		}
+		start = i
+		for i < len(s) && (isIdentByte(s[i]) || (i > start && s[i] >= '0' && s[i] <= '9')) {
+			i++
+		}
+		ident := s[start:i]
+		switch {
+		case ident == "" && expectIdent:
+			return Expr{}, fmt.Errorf("expression %q: '*' without a variable", s)
+		case ident == "" && hasNum:
+			e.Const += sign * coef
+		case ident != "":
+			e.Coef[ident] += sign * coef
+		default:
+			return Expr{}, fmt.Errorf("expression %q: unexpected character %q at offset %d", s, s[i:i+1], i)
+		}
+		sign = 1
+	}
+	return e, nil
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}

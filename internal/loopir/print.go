@@ -1,0 +1,39 @@
+package loopir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the nest as pseudo-code in the paper's style:
+//
+//	int a[32][32]
+//	for i = 1, 31
+//	  for j = 1, 31
+//	    a[i][j] (w), a[i][j], a[i - 1][j], ...
+func (n *Nest) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s\n", n.Name)
+	for _, a := range n.Arrays {
+		fmt.Fprintf(&sb, "int%d %s", a.ElementBytes()*8, a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&sb, "[%d]", d)
+		}
+		sb.WriteByte('\n')
+	}
+	indent := ""
+	for _, l := range n.Loops {
+		fmt.Fprintf(&sb, "%sfor %s = %s, %s", indent, l.Var, l.Lo, l.Hi)
+		if l.Step != 1 {
+			fmt.Fprintf(&sb, ", step %d", l.Step)
+		}
+		sb.WriteByte('\n')
+		indent += "  "
+	}
+	refs := make([]string, len(n.Body))
+	for i, r := range n.Body {
+		refs[i] = r.String()
+	}
+	fmt.Fprintf(&sb, "%s%s\n", indent, strings.Join(refs, ", "))
+	return sb.String()
+}

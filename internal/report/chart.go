@@ -1,0 +1,81 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BarRow is one bar of a chart.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal ASCII bar chart — the terminal stand-in
+// for the paper's figures. Bars scale to the maximum value; negative
+// values are clamped to zero.
+type BarChart struct {
+	Title string
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+	rows  []BarRow
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, Width: 40}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.rows = append(c.rows, BarRow{Label: label, Value: value})
+}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	max := 0.0
+	for _, r := range c.rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		if r.Value > max {
+			max = r.Value
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	for _, r := range c.rows {
+		v := r.Value
+		if v < 0 {
+			v = 0
+		}
+		n := 0
+		if max > 0 {
+			n = int(v/max*float64(width) + 0.5)
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s  %s %s\n", labelW, r.Label, strings.Repeat("#", n), F(r.Value))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		return fmt.Sprintf("report: chart render failed: %v", err)
+	}
+	return sb.String()
+}

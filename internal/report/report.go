@@ -1,0 +1,117 @@
+// Package report renders aligned text tables in the style of the paper's
+// figures, for the CLI tools and the experiment harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row. Missing cells render empty; extra cells are an error.
+func (t *Table) Add(cells ...string) error {
+	if len(cells) > len(t.Columns) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustAdd appends a row and panics on arity errors (programmer error).
+func (t *Table) MustAdd(cells ...string) {
+	if err := t.Add(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	formatRow := func(cells []string) string {
+		var row strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				row.WriteString("  ")
+			}
+			row.WriteString(cell)
+			row.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		return strings.TrimRight(row.String(), " ")
+	}
+	sb.WriteString(formatRow(t.Columns))
+	sb.WriteByte('\n')
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total >= 2 {
+		total -= 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		sb.WriteString(formatRow(row))
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return fmt.Sprintf("report: render failed: %v", err)
+	}
+	return sb.String()
+}
+
+// F formats a float compactly: integers without decimals, small values
+// with four significant decimals.
+func F(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v < 1 && v > -1 {
+		return fmt.Sprintf("%.4f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// U formats a uint64.
+func U(v uint64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,157 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("Figure X", "config", "missrate", "energy")
+	tb.MustAdd("C16L4", "0.1250", "1234")
+	tb.MustAdd("C512L64", "0.0100", "56789")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	if lines[0] != "Figure X" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "config ") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns align: "missrate" starts at the same offset in each row.
+	hIdx := strings.Index(lines[1], "missrate")
+	rIdx := strings.Index(lines[3], "0.1250")
+	if hIdx != rIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", hIdx, rIdx, out)
+	}
+	// No trailing spaces.
+	for i, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("line %d has trailing spaces: %q", i, l)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.MustAdd("1")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("empty title should not emit a blank line: %q", out)
+	}
+}
+
+func TestAddArity(t *testing.T) {
+	tb := New("t", "a", "b")
+	if err := tb.Add("1"); err != nil {
+		t.Errorf("short row should pad: %v", err)
+	}
+	if err := tb.Add("1", "2", "3"); err == nil {
+		t.Error("long row should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic on arity error")
+		}
+	}()
+	tb.MustAdd("1", "2", "3")
+}
+
+func TestRows(t *testing.T) {
+	tb := New("t", "a")
+	if tb.Rows() != 0 {
+		t.Error("fresh table should have 0 rows")
+	}
+	tb.MustAdd("x")
+	if tb.Rows() != 1 {
+		t.Error("Rows should count added rows")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{-3, "-3"},
+		{0.5, "0.5000"},
+		{0.12345, "0.1235"},
+		{1234.56, "1234.6"},
+	}
+	for _, c := range cases {
+		if got := F(c.v); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if I(7) != "7" {
+		t.Error("I")
+	}
+	if U(9) != "9" {
+		t.Error("U")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("energy by config")
+	c.Add("C16L4", 100)
+	c.Add("C512L64", 50)
+	c.Add("zero", 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "energy by config" {
+		t.Errorf("title = %q", lines[0])
+	}
+	big := strings.Count(lines[1], "#")
+	small := strings.Count(lines[2], "#")
+	none := strings.Count(lines[3], "#")
+	if big != 40 {
+		t.Errorf("max bar = %d, want 40", big)
+	}
+	if small != 20 {
+		t.Errorf("half bar = %d, want 20", small)
+	}
+	if none != 0 {
+		t.Errorf("zero bar = %d, want 0", none)
+	}
+}
+
+func TestBarChartTinyValuesVisible(t *testing.T) {
+	c := NewBarChart("")
+	c.Add("huge", 1e9)
+	c.Add("tiny", 1)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// With no title, lines[1] is the "tiny" bar.
+	if strings.Count(lines[1], "#") < 1 {
+		t.Error("tiny non-zero value should render at least one mark")
+	}
+	// Negative values clamp to zero-width bars.
+	c2 := NewBarChart("")
+	c2.Add("neg", -5)
+	if strings.Contains(c2.String(), "#") {
+		t.Error("negative bar should be empty")
+	}
+}
+
+func TestBarChartCustomWidth(t *testing.T) {
+	c := NewBarChart("")
+	c.Width = 10
+	c.Add("a", 10)
+	if got := strings.Count(c.String(), "#"); got != 10 {
+		t.Errorf("bar width = %d, want 10", got)
+	}
+	c.Width = 0 // falls back to default
+	if got := strings.Count(c.String(), "#"); got != 40 {
+		t.Errorf("default width = %d, want 40", got)
+	}
+}

@@ -1,0 +1,292 @@
+// Package reuse implements the paper's §3 analytical model: partitioning
+// the references of a loop nest into equivalence classes and cases of
+// uniformly generated references, and computing from them the minimum
+// number of cache lines — and hence the minimum cache size — needed to
+// avoid conflicts among reused data.
+//
+// Two references a[f(i)] and a[g(i)] are uniformly generated (Wolf & Lam
+// [9]) when f(i) = H·i + c_f and g(i) = H·i + c_g for the same linear part
+// H. Following [9]'s group-spatial partition, uniformly generated
+// references to the same array form one class when their constant vectors
+// agree in every dimension except the innermost (fastest-varying) one —
+// that is how the paper's Example 1 yields class 1 = {a[i-1][j-1],
+// a[i-1][j]} and class 2 = {a[i][j-1], a[i][j]}. References with the same
+// linear part on different arrays form a case (the paper's extension).
+// For each class the paper computes
+//
+//	distance = floor(|Δc| / stride) + 1
+//
+// (Δc the difference of the constant vectors, linearized; stride the
+// address step of the class per innermost varying iteration) and derives
+// the number of cache lines the class needs:
+//
+//	lines = floor(distance/L) + 1   if distance mod L ∈ {0, 1}
+//	lines = floor(distance/L) + 2   otherwise
+//
+// The minimum cache size is L times the sum of lines over all classes.
+package reuse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memexplore/internal/loopir"
+)
+
+// LinearRef is a body reference lowered to byte-address form: a linear
+// coefficient per loop variable plus a constant byte offset within the
+// array.
+type LinearRef struct {
+	// Ref is the original IR reference.
+	Ref loopir.Ref
+	// Array is the referenced array's name.
+	Array string
+	// Coef maps loop-variable names to the byte-address coefficient — the
+	// row of H after linearization by the array's row-major strides and
+	// element size.
+	Coef map[string]int
+	// Const is the linearized constant byte offset (c after
+	// linearization).
+	Const int
+	// DimConsts are the per-dimension constant parts of the index
+	// expressions (the un-linearized constant vector c), used for the
+	// group-spatial class split.
+	DimConsts []int
+}
+
+// hKey returns a canonical string for the linear part, used for grouping.
+func hKey(coef map[string]int) string {
+	var vars []string
+	for v, c := range coef {
+		if c != 0 {
+			vars = append(vars, v)
+		}
+	}
+	sort.Strings(vars)
+	var sb strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&sb, "%s*%d;", v, coef[v])
+	}
+	return sb.String()
+}
+
+// Class is a set of uniformly generated references to one array.
+type Class struct {
+	// Array is the array all members reference.
+	Array string
+	// HKey is the canonical form of the shared linear part.
+	HKey string
+	// Members are the references, sorted by constant offset.
+	Members []LinearRef
+}
+
+// Case groups classes that share a linear part across different arrays —
+// the paper's "equivalent case of reference".
+type Case struct {
+	HKey    string
+	Classes []Class
+}
+
+// Lower converts every body reference of the nest to LinearRef form.
+func Lower(n *loopir.Nest) ([]LinearRef, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	var out []LinearRef
+	for _, r := range n.Body {
+		a, ok := n.Array(r.Array)
+		if !ok {
+			return nil, fmt.Errorf("reuse: ref %s: array not declared", r)
+		}
+		strides := a.RowStrides()
+		elem := a.ElementBytes()
+		lr := LinearRef{Ref: r, Array: r.Array, Coef: map[string]int{}}
+		for d, e := range r.Index {
+			scale := strides[d] * elem
+			lr.Const += e.Const * scale
+			lr.DimConsts = append(lr.DimConsts, e.Const)
+			for v, c := range e.Coef {
+				if c != 0 {
+					lr.Coef[v] += c * scale
+				}
+			}
+		}
+		out = append(out, lr)
+	}
+	return out, nil
+}
+
+// Classes partitions the nest's references into equivalence classes:
+// same array, same linear part, and equal constant offsets in every array
+// dimension but the innermost (the group-spatial split of [9]). Order is
+// deterministic (first-appearance).
+func Classes(n *loopir.Nest) ([]Class, error) {
+	refs, err := Lower(n)
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		array string
+		h     string
+		outer string
+	}
+	outerKey := func(dimConsts []int) string {
+		if len(dimConsts) <= 1 {
+			return ""
+		}
+		var sb strings.Builder
+		for _, c := range dimConsts[:len(dimConsts)-1] {
+			fmt.Fprintf(&sb, "%d;", c)
+		}
+		return sb.String()
+	}
+	groups := map[key][]LinearRef{}
+	var order []key
+	for _, lr := range refs {
+		k := key{lr.Array, hKey(lr.Coef), outerKey(lr.DimConsts)}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], lr)
+	}
+	var out []Class
+	for _, k := range order {
+		ms := groups[k]
+		sort.SliceStable(ms, func(i, j int) bool { return ms[i].Const < ms[j].Const })
+		out = append(out, Class{Array: k.array, HKey: k.h, Members: ms})
+	}
+	return out, nil
+}
+
+// Cases groups the classes of a nest by linear part across arrays.
+func Cases(n *loopir.Nest) ([]Case, error) {
+	classes, err := Classes(n)
+	if err != nil {
+		return nil, err
+	}
+	groups := map[string][]Class{}
+	var order []string
+	for _, c := range classes {
+		if _, seen := groups[c.HKey]; !seen {
+			order = append(order, c.HKey)
+		}
+		groups[c.HKey] = append(groups[c.HKey], c)
+	}
+	var out []Case
+	for _, h := range order {
+		out = append(out, Case{HKey: h, Classes: groups[h]})
+	}
+	return out, nil
+}
+
+// Stride returns the byte-address step of the class per iteration of the
+// innermost loop whose variable appears in the class's linear part. A
+// class whose addresses do not vary with any loop (constant references)
+// has stride 0.
+func (c Class) Stride(n *loopir.Nest) int {
+	if len(c.Members) == 0 {
+		return 0
+	}
+	coef := c.Members[0].Coef
+	for depth := len(n.Loops) - 1; depth >= 0; depth-- {
+		l := n.Loops[depth]
+		if k := coef[l.Var]; k != 0 {
+			s := k * l.Step
+			if s < 0 {
+				s = -s
+			}
+			return s
+		}
+	}
+	return 0
+}
+
+// Distance computes the paper's distance value for the class: the spread
+// of the constant offsets divided by the stride, floored, plus one. A
+// single-member class has distance 0.
+func (c Class) Distance(n *loopir.Nest) int {
+	if len(c.Members) <= 1 {
+		return 0
+	}
+	lo := c.Members[0].Const
+	hi := c.Members[len(c.Members)-1].Const
+	spread := hi - lo
+	if spread < 0 {
+		spread = -spread
+	}
+	stride := c.Stride(n)
+	if stride == 0 {
+		stride = 1
+	}
+	return spread/stride + 1
+}
+
+// Lines returns the number of cache lines the class needs for a line size
+// of lineBytes, per the paper's §3 rule.
+func (c Class) Lines(n *loopir.Nest, lineBytes int) (int, error) {
+	if lineBytes <= 0 {
+		return 0, fmt.Errorf("reuse: line size %d must be positive", lineBytes)
+	}
+	d := c.Distance(n)
+	if m := d % lineBytes; m == 0 || m == 1 {
+		return d/lineBytes + 1, nil
+	}
+	return d/lineBytes + 2, nil
+}
+
+// MinLines returns the total cache lines the nest needs — the sum over all
+// classes — for the given line size.
+func MinLines(n *loopir.Nest, lineBytes int) (int, error) {
+	classes, err := Classes(n)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range classes {
+		l, err := c.Lines(n, lineBytes)
+		if err != nil {
+			return 0, err
+		}
+		total += l
+	}
+	return total, nil
+}
+
+// MinCacheSize returns the paper's minimum cache size in bytes for the
+// given line size: MinLines·L.
+func MinCacheSize(n *loopir.Nest, lineBytes int) (int, error) {
+	lines, err := MinLines(n, lineBytes)
+	if err != nil {
+		return 0, err
+	}
+	return lines * lineBytes, nil
+}
+
+// Compatible reports whether all references of the nest are compatible in
+// the §4.1 sense: the difference between any two accesses to the same
+// array is independent of the loop index, i.e. every array is referenced
+// with a single linear part H. a[i] and a[i-2] are compatible; b[j][i]
+// alongside b[i][j] is not (nor is an indirection a[b[i]], which this IR
+// cannot express). When an array is incompatible a conflict-free static
+// layout is not guaranteed to exist.
+func Compatible(n *loopir.Nest) (bool, error) {
+	refs, err := Lower(n)
+	if err != nil {
+		return false, err
+	}
+	perArray := map[string]map[string]bool{}
+	for _, lr := range refs {
+		k := hKey(lr.Coef)
+		if perArray[lr.Array] == nil {
+			perArray[lr.Array] = map[string]bool{}
+		}
+		perArray[lr.Array][k] = true
+	}
+	for _, hs := range perArray {
+		if len(hs) > 1 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,213 @@
+// Package scratchpad models the on-chip memory alternative the paper's
+// lineage ([1], [2] — Panda, Dutt & Nicolau's local-memory exploration)
+// compares caches against: a software-managed scratchpad SRAM. Arrays are
+// statically assigned to the scratchpad (no tags, no misses, single-cycle
+// access) or left in off-chip memory (every access pays the main-memory
+// energy and latency); a greedy density assignment packs the
+// most-frequently-accessed bytes on chip.
+//
+// The CacheVsSPM comparison exhibit uses this package to ask the question
+// the paper's introduction raises — which on-chip memory organization
+// should the designer pick for a given application? — with the same three
+// metrics (size, cycles, energy).
+package scratchpad
+
+import (
+	"fmt"
+	"sort"
+
+	"memexplore/internal/energy"
+	"memexplore/internal/loopir"
+)
+
+// Params fixes the scratchpad cost model.
+type Params struct {
+	// CellNJPerByte is the per-access on-chip energy per scratchpad byte
+	// of capacity, mirroring the cache model's E_cell = β·cells·scale with
+	// the tag overhead removed: a scratchpad of C bytes costs
+	// CellNJPerByte·C per access. Default ties to energy.DefaultParams:
+	// β·8·CellScale.
+	CellNJPerByte float64
+	// SPMCycles is the scratchpad access latency (1).
+	SPMCycles float64
+	// OffchipCycles is the off-chip access latency in cycles (the §2.2
+	// per-word miss cost, 40 for small transfers).
+	OffchipCycles float64
+	// Main supplies Em for off-chip accesses.
+	Main energy.SRAM
+}
+
+// DefaultParams derives scratchpad parameters consistent with the cache
+// energy model.
+func DefaultParams(main energy.SRAM) Params {
+	e := energy.DefaultParams(main)
+	return Params{
+		CellNJPerByte: e.Beta * 8 * e.CellScale,
+		SPMCycles:     1,
+		OffchipCycles: 40,
+		Main:          main,
+	}
+}
+
+// Validate rejects nonsensical parameters.
+func (p Params) Validate() error {
+	if p.CellNJPerByte <= 0 {
+		return fmt.Errorf("scratchpad: non-positive cell energy %v", p.CellNJPerByte)
+	}
+	if p.SPMCycles <= 0 || p.OffchipCycles <= p.SPMCycles {
+		return fmt.Errorf("scratchpad: latencies must satisfy 0 < spm (%v) < offchip (%v)",
+			p.SPMCycles, p.OffchipCycles)
+	}
+	if p.Main.EmNJ <= 0 {
+		return fmt.Errorf("scratchpad: main memory %q has non-positive Em", p.Main.Name)
+	}
+	return nil
+}
+
+// Assignment records which arrays live in the scratchpad.
+type Assignment struct {
+	// InSPM marks on-chip arrays.
+	InSPM map[string]bool
+	// UsedBytes is the on-chip capacity consumed.
+	UsedBytes int
+	// CapacityBytes is the scratchpad size the assignment targeted.
+	CapacityBytes int
+}
+
+// arrayDemand is the access count and footprint of one array.
+type arrayDemand struct {
+	name     string
+	accesses int64
+	bytes    int
+}
+
+// demands counts, statically, each array's accesses over one run of the
+// nest.
+func demands(n *loopir.Nest) ([]arrayDemand, error) {
+	iters, err := n.Iterations()
+	if err != nil {
+		return nil, err
+	}
+	perArray := map[string]int64{}
+	for _, r := range n.Body {
+		perArray[r.Array] += iters
+	}
+	var out []arrayDemand
+	for _, a := range n.Arrays {
+		out = append(out, arrayDemand{
+			name:     a.Name,
+			accesses: perArray[a.Name],
+			bytes:    a.SizeBytes(),
+		})
+	}
+	return out, nil
+}
+
+// Assign packs arrays into a scratchpad of the given capacity, greedily by
+// access density (accesses per byte) — the classic Panda/Dutt heuristic.
+// Arrays that do not fit stay off-chip.
+func Assign(n *loopir.Nest, capacityBytes int) (Assignment, error) {
+	if capacityBytes < 0 {
+		return Assignment{}, fmt.Errorf("scratchpad: negative capacity %d", capacityBytes)
+	}
+	if err := n.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	ds, err := demands(n)
+	if err != nil {
+		return Assignment{}, err
+	}
+	sort.SliceStable(ds, func(i, j int) bool {
+		di := float64(ds[i].accesses) / float64(ds[i].bytes)
+		dj := float64(ds[j].accesses) / float64(ds[j].bytes)
+		if di != dj {
+			return di > dj
+		}
+		return ds[i].bytes < ds[j].bytes
+	})
+	a := Assignment{InSPM: map[string]bool{}, CapacityBytes: capacityBytes}
+	for _, d := range ds {
+		if d.accesses == 0 {
+			continue
+		}
+		if a.UsedBytes+d.bytes <= capacityBytes {
+			a.InSPM[d.name] = true
+			a.UsedBytes += d.bytes
+		}
+	}
+	return a, nil
+}
+
+// Metrics is the scratchpad evaluation result, mirroring the cache
+// explorer's triple.
+type Metrics struct {
+	// CapacityBytes is the scratchpad size.
+	CapacityBytes int
+	// OnChipAccesses and OffChipAccesses partition the reference count.
+	OnChipAccesses  int64
+	OffChipAccesses int64
+	// Cycles and EnergyNJ follow the package cost model.
+	Cycles   float64
+	EnergyNJ float64
+	// HitRate is the fraction of accesses served on-chip.
+	HitRate float64
+}
+
+// Evaluate scores one assignment under the cost model.
+func Evaluate(n *loopir.Nest, a Assignment, p Params) (Metrics, error) {
+	if err := p.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	ds, err := demands(n)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{CapacityBytes: a.CapacityBytes}
+	for _, d := range ds {
+		if a.InSPM[d.name] {
+			m.OnChipAccesses += d.accesses
+		} else {
+			m.OffChipAccesses += d.accesses
+		}
+	}
+	total := m.OnChipAccesses + m.OffChipAccesses
+	if total > 0 {
+		m.HitRate = float64(m.OnChipAccesses) / float64(total)
+	}
+	eSPM := p.CellNJPerByte * float64(a.CapacityBytes)
+	m.Cycles = float64(m.OnChipAccesses)*p.SPMCycles + float64(m.OffChipAccesses)*p.OffchipCycles
+	m.EnergyNJ = float64(m.OnChipAccesses)*eSPM + float64(m.OffChipAccesses)*p.Main.EmNJ
+	return m, nil
+}
+
+// Explore evaluates the greedy assignment at every candidate capacity and
+// returns the metrics in input order.
+func Explore(n *loopir.Nest, capacities []int, p Params) ([]Metrics, error) {
+	var out []Metrics
+	for _, c := range capacities {
+		a, err := Assign(n, c)
+		if err != nil {
+			return nil, err
+		}
+		m, err := Evaluate(n, a, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// MinEnergy returns the lowest-energy capacity point.
+func MinEnergy(ms []Metrics) (Metrics, bool) {
+	if len(ms) == 0 {
+		return Metrics{}, false
+	}
+	best := ms[0]
+	for _, m := range ms[1:] {
+		if m.EnergyNJ < best.EnergyNJ {
+			best = m
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,150 @@
+package scratchpad
+
+import (
+	"testing"
+
+	"memexplore/internal/energy"
+	"memexplore/internal/kernels"
+	"memexplore/internal/loopir"
+)
+
+func params() Params { return DefaultParams(energy.CypressCY7C()) }
+
+func TestParamsValidate(t *testing.T) {
+	if err := params().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.CellNJPerByte = 0 },
+		func(p *Params) { p.SPMCycles = 0 },
+		func(p *Params) { p.OffchipCycles = 0.5 },
+		func(p *Params) { p.Main.EmNJ = 0 },
+	}
+	for i, mutate := range bad {
+		p := params()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestAssignGreedyDensity(t *testing.T) {
+	// Dequant: block (1024 B, 2 accesses/iter... block read+write) and
+	// quant (1024 B, 1 access/iter). Equal size, block denser.
+	n := kernels.Dequant()
+	a, err := Assign(n, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.InSPM["block"] {
+		t.Errorf("block (denser) should be on-chip: %+v", a)
+	}
+	if a.InSPM["quant"] {
+		t.Errorf("quant should not fit: %+v", a)
+	}
+	if a.UsedBytes != 1024 {
+		t.Errorf("used = %d", a.UsedBytes)
+	}
+	// With room for both, both go on-chip.
+	a, err = Assign(n, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.InSPM["block"] || !a.InSPM["quant"] {
+		t.Errorf("both arrays should fit: %+v", a)
+	}
+	// Zero capacity: nothing on-chip.
+	a, err = Assign(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.InSPM) != 0 || a.UsedBytes != 0 {
+		t.Errorf("zero-capacity assignment: %+v", a)
+	}
+	if _, err := Assign(n, -1); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestAssignSkipsUnreferenced(t *testing.T) {
+	n := &loopir.Nest{
+		Name: "unref",
+		Arrays: []loopir.Array{
+			{Name: "hot", Dims: []int{8}},
+			{Name: "never", Dims: []int{8}},
+		},
+		Loops: []loopir.Loop{loopir.ConstLoop("i", 0, 7)},
+		Body:  []loopir.Ref{loopir.Read("hot", loopir.Var("i"))},
+	}
+	a, err := Assign(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InSPM["never"] {
+		t.Error("unreferenced array should stay off-chip")
+	}
+}
+
+func TestEvaluateAccounting(t *testing.T) {
+	n := kernels.Dequant() // 961 iterations × 3 refs
+	a, err := Assign(n, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(n, a, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OnChipAccesses != 2*961 || m.OffChipAccesses != 961 {
+		t.Errorf("access split = %d/%d", m.OnChipAccesses, m.OffChipAccesses)
+	}
+	if m.HitRate < 0.66 || m.HitRate > 0.67 {
+		t.Errorf("hit rate = %v", m.HitRate)
+	}
+	p := params()
+	wantCycles := float64(2*961)*p.SPMCycles + float64(961)*p.OffchipCycles
+	if m.Cycles != wantCycles {
+		t.Errorf("cycles = %v, want %v", m.Cycles, wantCycles)
+	}
+	if m.EnergyNJ <= 0 {
+		t.Errorf("energy = %v", m.EnergyNJ)
+	}
+	if _, err := Evaluate(n, a, Params{}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestExploreCapacityTradeoff(t *testing.T) {
+	n := kernels.Dequant()
+	caps := []int{0, 512, 1024, 2048, 4096, 8192}
+	ms, err := Explore(n, caps, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(caps) {
+		t.Fatalf("results = %d", len(ms))
+	}
+	// Hit rate is non-decreasing in capacity; cycles non-increasing.
+	for i := 1; i < len(ms); i++ {
+		if ms[i].HitRate < ms[i-1].HitRate {
+			t.Errorf("hit rate fell at capacity %d", caps[i])
+		}
+		if ms[i].Cycles > ms[i-1].Cycles {
+			t.Errorf("cycles rose at capacity %d", caps[i])
+		}
+	}
+	// Energy is not monotone: an oversized scratchpad pays per-access
+	// cell energy for capacity it does not need — the same phenomenon the
+	// paper shows for caches.
+	minE, ok := MinEnergy(ms)
+	if !ok {
+		t.Fatal("no optimum")
+	}
+	if minE.CapacityBytes == caps[len(caps)-1] {
+		t.Errorf("energy optimum at max capacity %d — energy lost its bite", minE.CapacityBytes)
+	}
+	if _, ok := MinEnergy(nil); ok {
+		t.Error("MinEnergy(nil) should report !ok")
+	}
+}

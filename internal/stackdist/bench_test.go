@@ -1,0 +1,31 @@
+package stackdist
+
+import (
+	"testing"
+
+	"memexplore/internal/trace"
+)
+
+// BenchmarkCompute measures the full-trace reuse-distance pass.
+func BenchmarkCompute(b *testing.B) {
+	tr := trace.Loop(0, 8192, 4, 4)
+	b.SetBytes(int64(tr.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(tr, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComputePerSet measures the per-set Mattson pass.
+func BenchmarkComputePerSet(b *testing.B) {
+	tr := trace.Loop(0, 8192, 4, 4)
+	b.SetBytes(int64(tr.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputePerSet(tr, 8, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package stackdist
+
+import (
+	"fmt"
+
+	"memexplore/internal/trace"
+)
+
+// SetHistogram is the per-set LRU stack-distance profile of a trace for a
+// fixed (line size, set count) mapping. By Mattson's inclusion property,
+// a set-associative LRU cache with A ways hits an access iff fewer than A
+// distinct lines of the same set were touched since the line's previous
+// access — so one pass yields the exact miss count of every
+// associativity.
+type SetHistogram struct {
+	// LineBytes and Sets fix the mapping.
+	LineBytes int
+	Sets      int
+	// Counts[d] is the number of accesses whose within-set stack distance
+	// is exactly d.
+	Counts []uint64
+	// Cold counts first touches (distinct lines).
+	Cold uint64
+	// Total is the number of accesses profiled.
+	Total uint64
+}
+
+// ComputePerSet builds the per-set stack-distance histogram.
+func ComputePerSet(tr *trace.Trace, lineBytes, sets int) (*SetHistogram, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("stackdist: line size %d must be a positive power of two", lineBytes)
+	}
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("stackdist: set count %d must be a positive power of two", sets)
+	}
+	shift := uint(0)
+	for 1<<shift != lineBytes {
+		shift++
+	}
+	h := &SetHistogram{LineBytes: lineBytes, Sets: sets}
+	stacks := make([][]uint64, sets)
+	for i := 0; i < tr.Len(); i++ {
+		la := tr.At(i).Addr >> shift
+		si := la & uint64(sets-1)
+		stack := stacks[si]
+		h.Total++
+		found := -1
+		for j, resident := range stack {
+			if resident == la {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			h.Cold++
+			stacks[si] = append([]uint64{la}, stack...)
+			continue
+		}
+		for len(h.Counts) <= found {
+			h.Counts = append(h.Counts, 0)
+		}
+		h.Counts[found]++
+		copy(stack[1:found+1], stack[0:found])
+		stack[0] = la
+	}
+	return h, nil
+}
+
+// Misses returns the exact miss count of an A-way LRU cache with this
+// mapping: cold misses plus accesses at distance ≥ A.
+func (h *SetHistogram) Misses(assoc int) uint64 {
+	if assoc <= 0 {
+		return h.Total
+	}
+	hits := uint64(0)
+	for d, c := range h.Counts {
+		if d < assoc {
+			hits += c
+		}
+	}
+	return h.Total - hits
+}
+
+// MissRate is Misses(assoc)/Total.
+func (h *SetHistogram) MissRate(assoc int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Misses(assoc)) / float64(h.Total)
+}
+
+// AssocCurve evaluates the miss rate at each associativity.
+func (h *SetHistogram) AssocCurve(assocs []int) []float64 {
+	out := make([]float64, len(assocs))
+	for i, a := range assocs {
+		out[i] = h.MissRate(a)
+	}
+	return out
+}

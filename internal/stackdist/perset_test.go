@@ -1,0 +1,123 @@
+package stackdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/kernels"
+	"memexplore/internal/loopir"
+	"memexplore/internal/trace"
+)
+
+func TestComputePerSetArgs(t *testing.T) {
+	tr := trace.Sequential(0, 4, 1)
+	if _, err := ComputePerSet(tr, 3, 4); err == nil {
+		t.Error("non-power-of-two line should fail")
+	}
+	if _, err := ComputePerSet(tr, 4, 3); err == nil {
+		t.Error("non-power-of-two sets should fail")
+	}
+	if _, err := ComputePerSet(tr, 4, 0); err == nil {
+		t.Error("zero sets should fail")
+	}
+}
+
+// The headline property: one per-set pass predicts the exact miss count of
+// every associativity, matching the simulator for A ∈ {1, 2, 4, 8}.
+func TestPerSetMatchesSimulatorAllAssociativities(t *testing.T) {
+	for _, n := range kernels.PaperBenchmarks() {
+		tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const line, sets = 8, 8
+		h, err := ComputePerSet(tr, line, sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, assoc := range []int{1, 2, 4, 8} {
+			cfg := cachesim.DefaultConfig(line*sets*assoc, line, assoc)
+			st, err := cachesim.RunTrace(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := h.Misses(assoc), st.Misses; got != want {
+				t.Errorf("%s A=%d: per-set predicts %d misses, simulator %d",
+					n.Name, assoc, got, want)
+			}
+		}
+	}
+}
+
+func TestPerSetAccounting(t *testing.T) {
+	tr := trace.PingPong(0, 64, 10) // same set of an 8-set/8B mapping
+	h, err := ComputePerSet(tr, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cold != 2 || h.Total != 20 {
+		t.Errorf("cold=%d total=%d", h.Cold, h.Total)
+	}
+	// All non-cold accesses are at within-set distance 1.
+	if h.Counts[1] != 18 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Misses(1) != 20 {
+		t.Errorf("direct-mapped misses = %d, want 20", h.Misses(1))
+	}
+	if h.Misses(2) != 2 {
+		t.Errorf("2-way misses = %d, want 2", h.Misses(2))
+	}
+	if h.Misses(0) != h.Total {
+		t.Error("assoc 0 should miss everything")
+	}
+	if got := h.MissRate(2); got != 0.1 {
+		t.Errorf("MissRate(2) = %v", got)
+	}
+	curve := h.AssocCurve([]int{1, 2, 4})
+	if curve[0] != 1 || curve[1] != 0.1 || curve[2] != 0.1 {
+		t.Errorf("curve = %v", curve)
+	}
+}
+
+func TestPerSetEmpty(t *testing.T) {
+	h, err := ComputePerSet(trace.New(0), 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MissRate(4) != 0 {
+		t.Error("empty trace should report 0")
+	}
+}
+
+// Property: per-set misses are non-increasing in associativity (LRU
+// inclusion), and agree with the simulator on random traces.
+func TestQuickPerSetInclusionAndExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.Random(rng, 0, 1024, 400)
+		h, err := ComputePerSet(tr, 8, 4)
+		if err != nil {
+			return false
+		}
+		prev := h.Misses(1)
+		for _, a := range []int{2, 4, 8} {
+			m := h.Misses(a)
+			if m > prev {
+				return false
+			}
+			prev = m
+		}
+		cfg := cachesim.DefaultConfig(8*4*2, 8, 2)
+		st, err := cachesim.RunTrace(cfg, tr)
+		if err != nil {
+			return false
+		}
+		return h.Misses(2) == st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

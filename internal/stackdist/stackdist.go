@@ -1,0 +1,171 @@
+// Package stackdist computes LRU stack (reuse) distances and working-set
+// profiles of memory-reference traces. One pass over a trace yields the
+// miss rate of *every* fully associative LRU cache size simultaneously
+// (Mattson's stack algorithm), which both cross-checks the trace-driven
+// simulator and explains the capacity knees the exploration sweeps
+// exhibit: a kernel's miss-rate-vs-size curve steps exactly where its
+// reuse-distance histogram has mass.
+//
+// Distances are measured in cache lines for a given line size. Distance d
+// means d distinct other lines were touched since the previous access to
+// this line; a fully associative LRU cache of capacity > d lines hits it.
+// First touches have infinite distance (compulsory misses).
+package stackdist
+
+import (
+	"fmt"
+	"sort"
+
+	"memexplore/internal/trace"
+)
+
+// Histogram is the reuse-distance profile of a trace for one line size.
+type Histogram struct {
+	// LineBytes is the line granularity distances were measured at.
+	LineBytes int
+	// Counts[d] is the number of accesses with stack distance exactly d.
+	// Index 0 means "the line is the most recently used" (immediate
+	// re-reference).
+	Counts []uint64
+	// Cold is the number of first-touch (infinite-distance) accesses —
+	// the distinct lines of the trace.
+	Cold uint64
+	// Total is the number of accesses profiled.
+	Total uint64
+}
+
+// Compute builds the reuse-distance histogram of a trace at the given
+// line size in O(N log N) time using Bennett & Kruskal's formulation:
+// keep one marker per distinct line at its last-use time in a Fenwick
+// tree; an access's stack distance is the number of markers strictly
+// between its line's previous use and now.
+func Compute(tr *trace.Trace, lineBytes int) (*Histogram, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("stackdist: line size %d must be a positive power of two", lineBytes)
+	}
+	shift := uint(0)
+	for 1<<shift != lineBytes {
+		shift++
+	}
+	h := &Histogram{LineBytes: lineBytes}
+	n := tr.Len()
+	bit := newFenwick(n + 1)
+	lastUse := make(map[uint64]int, 64) // line -> 1-based time of last use
+	for i := 0; i < n; i++ {
+		la := tr.At(i).Addr >> shift
+		t := i + 1
+		h.Total++
+		t0, seen := lastUse[la]
+		if !seen {
+			h.Cold++
+		} else {
+			// Markers strictly after t0: each is a distinct line touched
+			// since (every line keeps exactly one marker, at its last use).
+			d := bit.sum(n) - bit.sum(t0)
+			for len(h.Counts) <= d {
+				h.Counts = append(h.Counts, 0)
+			}
+			h.Counts[d]++
+			bit.add(t0, -1)
+		}
+		bit.add(t, 1)
+		lastUse[la] = t
+	}
+	return h, nil
+}
+
+// fenwick is a binary indexed tree over 1-based positions.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+// add adds v at position i (1-based).
+func (f *fenwick) add(i, v int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += v
+	}
+}
+
+// sum returns the prefix sum over [1, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// MissRate returns the miss rate of a fully associative LRU cache with
+// the given number of lines: accesses whose distance ≥ capacity miss,
+// plus all cold misses.
+func (h *Histogram) MissRate(capacityLines int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	if capacityLines <= 0 {
+		return 1
+	}
+	hits := uint64(0)
+	for d, c := range h.Counts {
+		if d < capacityLines {
+			hits += c
+		}
+	}
+	return float64(h.Total-hits) / float64(h.Total)
+}
+
+// Misses returns the absolute miss count at the given capacity.
+func (h *Histogram) Misses(capacityLines int) uint64 {
+	hits := uint64(0)
+	if capacityLines > 0 {
+		for d, c := range h.Counts {
+			if d < capacityLines {
+				hits += c
+			}
+		}
+	}
+	return h.Total - hits
+}
+
+// Curve evaluates the miss-rate-vs-capacity curve at the given line
+// counts, returning one rate per capacity.
+func (h *Histogram) Curve(capacities []int) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = h.MissRate(c)
+	}
+	return out
+}
+
+// Knees returns the capacities (in lines) where the miss rate drops by at
+// least minDrop, sorted ascending — the working-set sizes of the trace.
+func (h *Histogram) Knees(minDrop float64) []int {
+	var knees []int
+	for d, c := range h.Counts {
+		if h.Total == 0 {
+			break
+		}
+		drop := float64(c) / float64(h.Total)
+		if drop >= minDrop {
+			knees = append(knees, d+1)
+		}
+	}
+	sort.Ints(knees)
+	return knees
+}
+
+// MaxDistance returns the largest finite distance observed (-1 if all
+// accesses were cold).
+func (h *Histogram) MaxDistance() int {
+	for d := len(h.Counts) - 1; d >= 0; d-- {
+		if h.Counts[d] > 0 {
+			return d
+		}
+	}
+	return -1
+}
+
+// WorkingSet reports the number of distinct lines the trace touches.
+func (h *Histogram) WorkingSet() uint64 { return h.Cold }

@@ -1,0 +1,217 @@
+package stackdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/kernels"
+	"memexplore/internal/loopir"
+	"memexplore/internal/trace"
+)
+
+func TestComputeArgs(t *testing.T) {
+	tr := trace.Sequential(0, 4, 1)
+	for _, bad := range []int{0, -1, 3, 12} {
+		if _, err := Compute(tr, bad); err == nil {
+			t.Errorf("line size %d should be rejected", bad)
+		}
+	}
+}
+
+func TestSimpleDistances(t *testing.T) {
+	// Lines (at L=1): A B A C B A
+	tr := trace.FromRefs([]trace.Ref{
+		{Addr: 0}, {Addr: 1}, {Addr: 0}, {Addr: 2}, {Addr: 1}, {Addr: 0},
+	})
+	h, err := Compute(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cold != 3 {
+		t.Errorf("cold = %d, want 3", h.Cold)
+	}
+	if h.Total != 6 {
+		t.Errorf("total = %d, want 6", h.Total)
+	}
+	// Distances: A@2 -> 1 (B above), B@4 -> 2 (C,A above), A@5 -> 2 (B,C).
+	want := []uint64{0, 1, 2}
+	if len(h.Counts) != len(want) {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	for d, w := range want {
+		if h.Counts[d] != w {
+			t.Errorf("Counts[%d] = %d, want %d", d, h.Counts[d], w)
+		}
+	}
+	if h.MaxDistance() != 2 {
+		t.Errorf("max distance = %d", h.MaxDistance())
+	}
+	if h.WorkingSet() != 3 {
+		t.Errorf("working set = %d", h.WorkingSet())
+	}
+}
+
+func TestMissRateFromHistogram(t *testing.T) {
+	tr := trace.FromRefs([]trace.Ref{
+		{Addr: 0}, {Addr: 1}, {Addr: 0}, {Addr: 2}, {Addr: 1}, {Addr: 0},
+	})
+	h, _ := Compute(tr, 1)
+	// Capacity 3: everything non-cold hits -> 3 misses of 6.
+	if got := h.MissRate(3); got != 0.5 {
+		t.Errorf("missrate(3) = %v, want 0.5", got)
+	}
+	// Capacity 2: distances 2 miss -> 5 misses of 6.
+	if got := h.MissRate(2); got != 5.0/6.0 {
+		t.Errorf("missrate(2) = %v", got)
+	}
+	if got := h.MissRate(0); got != 1 {
+		t.Errorf("missrate(0) = %v, want 1", got)
+	}
+	if got := h.Misses(3); got != 3 {
+		t.Errorf("misses(3) = %d", got)
+	}
+	if (&Histogram{}).MissRate(4) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	n := kernels.SOR()
+	tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Compute(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	curve := h.Curve(caps)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-12 {
+			t.Errorf("miss rate not non-increasing: %v", curve)
+		}
+	}
+	// With capacity beyond the max distance only cold misses remain.
+	rate := h.MissRate(h.MaxDistance() + 2)
+	want := float64(h.Cold) / float64(h.Total)
+	if rate != want {
+		t.Errorf("asymptotic rate %v, want cold rate %v", rate, want)
+	}
+}
+
+// The central cross-check: the histogram's predicted miss rate at
+// capacity K must exactly equal the simulator's fully associative LRU
+// cache of K lines, for every kernel and several geometries.
+func TestMatchesFullyAssociativeSimulator(t *testing.T) {
+	for _, n := range kernels.PaperBenchmarks() {
+		tr, err := n.Generate(loopir.SequentialLayout(n, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		for _, geo := range []struct{ line, lines int }{{4, 8}, {8, 8}, {8, 16}, {16, 4}} {
+			h, err := Compute(tr, geo.line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := cachesim.DefaultConfig(geo.line*geo.lines, geo.line, geo.lines)
+			st, err := cachesim.RunTrace(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := h.Misses(geo.lines), st.Misses; got != want {
+				t.Errorf("%s at L%d/%d lines: stackdist misses %d, simulator %d",
+					n.Name, geo.line, geo.lines, got, want)
+			}
+		}
+	}
+}
+
+func TestKnees(t *testing.T) {
+	// A loop over a 16-line region: every non-cold access has distance 15,
+	// so the single knee is at capacity 16.
+	tr := trace.Loop(0, 16*8, 8, 4)
+	h, err := Compute(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knees := h.Knees(0.1)
+	if len(knees) != 1 || knees[0] != 16 {
+		t.Errorf("knees = %v, want [16]", knees)
+	}
+	if got := h.Knees(0.99); len(got) != 0 {
+		t.Errorf("impossible drop threshold should give no knees: %v", got)
+	}
+}
+
+// Property: for random traces, histogram accounting holds: cold + sum of
+// counts == total, and the capacity-∞ miss count equals cold.
+func TestQuickAccounting(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.Random(rng, 0, 512, int(n%800)+1)
+		h, err := Compute(tr, 4)
+		if err != nil {
+			return false
+		}
+		var hits uint64
+		for _, c := range h.Counts {
+			hits += c
+		}
+		if h.Cold+hits != h.Total {
+			return false
+		}
+		return h.Misses(h.MaxDistance()+1) == h.Cold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stackdist misses equal the fully associative simulator on
+// random traces across random capacities.
+func TestQuickMatchesSimulator(t *testing.T) {
+	f := func(seed int64, capExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.Random(rng, 0, 1024, 500)
+		lines := 1 << (capExp%5 + 1) // 2..32
+		h, err := Compute(tr, 8)
+		if err != nil {
+			return false
+		}
+		cfg := cachesim.DefaultConfig(8*lines, 8, lines)
+		st, err := cachesim.RunTrace(cfg, tr)
+		if err != nil {
+			return false
+		}
+		return h.Misses(lines) == st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(8)
+	f.add(1, 1)
+	f.add(4, 2)
+	f.add(8, 3)
+	if got := f.sum(0); got != 0 {
+		t.Errorf("sum(0) = %d", got)
+	}
+	if got := f.sum(3); got != 1 {
+		t.Errorf("sum(3) = %d", got)
+	}
+	if got := f.sum(4); got != 3 {
+		t.Errorf("sum(4) = %d", got)
+	}
+	if got := f.sum(8); got != 6 {
+		t.Errorf("sum(8) = %d", got)
+	}
+	f.add(4, -2)
+	if got := f.sum(8); got != 4 {
+		t.Errorf("after removal sum(8) = %d", got)
+	}
+}

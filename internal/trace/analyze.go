@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile summarizes a trace's statistical shape: the mix of access
+// kinds, the address footprint, and the distribution of strides between
+// consecutive references — the quantities a designer reads before picking
+// exploration ranges.
+type Profile struct {
+	// References is the trace length.
+	References int
+	// Reads, Writes, Fetches partition the references.
+	Reads, Writes, Fetches int
+	// MinAddr and MaxAddr bound the touched addresses.
+	MinAddr, MaxAddr uint64
+	// FootprintBytes counts the distinct bytes touched (at byte
+	// granularity via distinct addresses and sizes).
+	FootprintBytes int
+	// Strides histograms the signed deltas between consecutive reference
+	// addresses (capped to the most common 16 strides; the rest aggregate
+	// under StrideOther).
+	Strides map[int64]int
+	// StrideOther counts deltas outside the retained histogram.
+	StrideOther int
+	// SequentialFrac is the fraction of consecutive pairs with |delta| ≤
+	// 8 bytes — a locality indicator.
+	SequentialFrac float64
+}
+
+// maxStrideBuckets bounds the retained stride histogram.
+const maxStrideBuckets = 16
+
+// Analyze computes the profile of a trace.
+func Analyze(t *Trace) Profile {
+	p := Profile{Strides: map[int64]int{}}
+	p.References = t.Len()
+	if t.Len() == 0 {
+		return p
+	}
+	touched := map[uint64]struct{}{}
+	var prev uint64
+	sequential := 0
+	full := map[int64]int{}
+	for i := 0; i < t.Len(); i++ {
+		r := t.At(i)
+		switch r.Kind {
+		case Read:
+			p.Reads++
+		case Write:
+			p.Writes++
+		case Fetch:
+			p.Fetches++
+		}
+		for b := r.Addr; b <= r.LastByte(); b++ {
+			touched[b] = struct{}{}
+		}
+		if i == 0 {
+			p.MinAddr, p.MaxAddr = r.Addr, r.LastByte()
+		} else {
+			if r.Addr < p.MinAddr {
+				p.MinAddr = r.Addr
+			}
+			if lb := r.LastByte(); lb > p.MaxAddr {
+				p.MaxAddr = lb
+			}
+			delta := int64(r.Addr) - int64(prev)
+			full[delta]++
+			if delta <= 8 && delta >= -8 {
+				sequential++
+			}
+		}
+		prev = r.Addr
+	}
+	p.FootprintBytes = len(touched)
+	if t.Len() > 1 {
+		p.SequentialFrac = float64(sequential) / float64(t.Len()-1)
+	}
+	// Keep the most frequent strides.
+	type sc struct {
+		stride int64
+		count  int
+	}
+	var all []sc
+	for s, c := range full {
+		all = append(all, sc{s, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].stride < all[j].stride
+	})
+	for i, e := range all {
+		if i < maxStrideBuckets {
+			p.Strides[e.stride] = e.count
+		} else {
+			p.StrideOther += e.count
+		}
+	}
+	return p
+}
+
+// TopStrides returns the retained strides ordered by descending count.
+func (p Profile) TopStrides() []int64 {
+	var out []int64
+	for s := range p.Strides {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if p.Strides[out[i]] != p.Strides[out[j]] {
+			return p.Strides[out[i]] > p.Strides[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// String renders a compact multi-line report.
+func (p Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "references      %d (reads %d, writes %d, fetches %d)\n",
+		p.References, p.Reads, p.Writes, p.Fetches)
+	fmt.Fprintf(&sb, "address range   [%#x, %#x]\n", p.MinAddr, p.MaxAddr)
+	fmt.Fprintf(&sb, "footprint       %d bytes\n", p.FootprintBytes)
+	fmt.Fprintf(&sb, "sequential frac %.3f (|stride| ≤ 8)\n", p.SequentialFrac)
+	sb.WriteString("top strides:\n")
+	for _, s := range p.TopStrides() {
+		fmt.Fprintf(&sb, "  %+6d : %d\n", s, p.Strides[s])
+	}
+	if p.StrideOther > 0 {
+		fmt.Fprintf(&sb, "  other  : %d\n", p.StrideOther)
+	}
+	return sb.String()
+}

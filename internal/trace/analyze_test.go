@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	p := Analyze(New(0))
+	if p.References != 0 || p.FootprintBytes != 0 || p.SequentialFrac != 0 {
+		t.Errorf("empty profile: %+v", p)
+	}
+}
+
+func TestAnalyzeSequential(t *testing.T) {
+	p := Analyze(Sequential(100, 10, 4))
+	if p.References != 10 || p.Reads != 10 {
+		t.Errorf("counts: %+v", p)
+	}
+	if p.MinAddr != 100 || p.MaxAddr != 136 {
+		t.Errorf("range: [%d, %d]", p.MinAddr, p.MaxAddr)
+	}
+	if p.FootprintBytes != 10 {
+		t.Errorf("footprint = %d, want 10 (1-byte refs)", p.FootprintBytes)
+	}
+	if p.Strides[4] != 9 {
+		t.Errorf("stride histogram: %v", p.Strides)
+	}
+	if p.SequentialFrac != 1.0 {
+		t.Errorf("sequential frac = %v", p.SequentialFrac)
+	}
+}
+
+func TestAnalyzeMixedKindsAndSizes(t *testing.T) {
+	tr := FromRefs([]Ref{
+		{Addr: 0, Kind: Read, Size: 4},
+		{Addr: 100, Kind: Write},
+		{Addr: 0, Kind: Fetch},
+	})
+	p := Analyze(tr)
+	if p.Reads != 1 || p.Writes != 1 || p.Fetches != 1 {
+		t.Errorf("kind mix: %+v", p)
+	}
+	// Footprint: bytes 0-3 and 100 = 5 bytes.
+	if p.FootprintBytes != 5 {
+		t.Errorf("footprint = %d, want 5", p.FootprintBytes)
+	}
+	if p.Strides[100] != 1 || p.Strides[-100] != 1 {
+		t.Errorf("strides: %v", p.Strides)
+	}
+}
+
+func TestAnalyzeStrideBucketCap(t *testing.T) {
+	// 40 distinct strides: only 16 retained, the rest in StrideOther.
+	tr := New(0)
+	addr := uint64(1 << 20)
+	tr.Append(Ref{Addr: addr})
+	for i := 1; i <= 40; i++ {
+		addr += uint64(i * 100)
+		tr.Append(Ref{Addr: addr})
+	}
+	p := Analyze(tr)
+	if len(p.Strides) != maxStrideBuckets {
+		t.Errorf("retained strides = %d, want %d", len(p.Strides), maxStrideBuckets)
+	}
+	if p.StrideOther != 40-maxStrideBuckets {
+		t.Errorf("other = %d, want %d", p.StrideOther, 40-maxStrideBuckets)
+	}
+}
+
+func TestTopStridesOrdered(t *testing.T) {
+	tr := Concat(Sequential(0, 10, 1), Sequential(1000, 3, 64))
+	p := Analyze(tr)
+	top := p.TopStrides()
+	if len(top) == 0 || top[0] != 1 {
+		t.Errorf("most common stride should be 1: %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if p.Strides[top[i]] > p.Strides[top[i-1]] {
+			t.Errorf("TopStrides not sorted by count: %v", top)
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := Analyze(Sequential(0, 5, 2))
+	s := p.String()
+	for _, want := range []string{"references      5", "footprint       5", "top strides:", "+2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadDin checks that arbitrary input never panics the din reader and
+// that anything it accepts round-trips through WriteDin.
+func FuzzReadDin(f *testing.F) {
+	f.Add("0 10\n1 ff\n2 deadbeef\n")
+	f.Add("# comment\n\n0 0\n")
+	f.Add("0 0x1f\n")
+	f.Add("bogus")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ReadDin(bytes.NewReader([]byte(src)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteDin(&buf); err != nil {
+			t.Fatalf("WriteDin after successful ReadDin: %v", err)
+		}
+		again, err := ReadDin(&buf)
+		if err != nil {
+			t.Fatalf("re-reading our own output: %v", err)
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), again.Len())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if again.At(i) != tr.At(i) {
+				t.Fatalf("round trip changed ref %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package trace
+
+import "math/rand"
+
+// Sequential returns a trace of n reads walking upward from base with the
+// given byte stride. It models a streaming access pattern.
+func Sequential(base uint64, n int, stride uint64) *Trace {
+	t := New(n)
+	for i := 0; i < n; i++ {
+		t.Append(Ref{Addr: base + uint64(i)*stride, Kind: Read})
+	}
+	return t
+}
+
+// Loop returns a trace that repeats a sequential walk over a region of
+// length regionBytes, with the given stride, for the given number of passes.
+// It models temporal reuse of a working set.
+func Loop(base uint64, regionBytes uint64, stride uint64, passes int) *Trace {
+	if stride == 0 {
+		stride = 1
+	}
+	perPass := int(regionBytes / stride)
+	t := New(perPass * passes)
+	for p := 0; p < passes; p++ {
+		for i := 0; i < perPass; i++ {
+			t.Append(Ref{Addr: base + uint64(i)*stride, Kind: Read})
+		}
+	}
+	return t
+}
+
+// PingPong returns a trace that alternates between two addresses n times
+// each. With the two addresses mapping to the same cache set of a
+// direct-mapped cache this produces 100% conflict misses, which makes it
+// the canonical adversarial input for layout and associativity tests.
+func PingPong(a, b uint64, n int) *Trace {
+	t := New(2 * n)
+	for i := 0; i < n; i++ {
+		t.Append(Ref{Addr: a, Kind: Read})
+		t.Append(Ref{Addr: b, Kind: Read})
+	}
+	return t
+}
+
+// Random returns a trace of n reads uniformly distributed over
+// [base, base+span). The rng parameter makes runs reproducible; it must be
+// non-nil.
+func Random(rng *rand.Rand, base uint64, span uint64, n int) *Trace {
+	t := New(n)
+	for i := 0; i < n; i++ {
+		t.Append(Ref{Addr: base + uint64(rng.Int63n(int64(span))), Kind: Read})
+	}
+	return t
+}
+
+// Interleave merges the given traces round-robin (one reference from each in
+// turn) until all are exhausted. It models kernels whose references
+// alternate between several arrays.
+func Interleave(traces ...*Trace) *Trace {
+	total := 0
+	for _, t := range traces {
+		total += t.Len()
+	}
+	out := New(total)
+	idx := make([]int, len(traces))
+	for out.Len() < total {
+		for i, t := range traces {
+			if idx[i] < t.Len() {
+				out.Append(t.At(idx[i]))
+				idx[i]++
+			}
+		}
+	}
+	return out
+}
+
+// Concat concatenates the given traces into a new trace.
+func Concat(traces ...*Trace) *Trace {
+	total := 0
+	for _, t := range traces {
+		total += t.Len()
+	}
+	out := New(total)
+	for _, t := range traces {
+		out.refs = append(out.refs, t.refs...)
+	}
+	return out
+}
