@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test short bench figs exhibits fuzz cover clean
+.PHONY: all build vet test short bench figs exhibits fuzz cover clean check serve
 
 all: build vet test
 
@@ -14,6 +14,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Tier-1 plus the race-sensitive packages (the service and the
+# context-aware exploration core) under the race detector.
+check: build vet test
+	$(GO) test -race ./internal/service ./internal/core
+
+# Run the memexplored HTTP service (see docs/SERVICE.md).
+serve:
+	$(GO) run ./cmd/memexplored
 
 short:
 	$(GO) test -short ./...

@@ -85,8 +85,8 @@ func TestWriteJSONShape(t *testing.T) {
 	if !strings.HasPrefix(strings.TrimSpace(data), "[") {
 		t.Errorf("json should be an array: %q", data[:20])
 	}
-	if !strings.Contains(data, "\"CacheSize\": 32") {
-		t.Error("json missing CacheSize field")
+	if !strings.Contains(data, "\"cache_size\": 32") {
+		t.Error("json missing cache_size field")
 	}
 }
 

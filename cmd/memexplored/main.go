@@ -1,0 +1,98 @@
+// Command memexplored serves the MemExplore sweep as a long-running
+// HTTP/JSON API: POST /v1/explore and /v1/aggregate run (or recall from
+// the result cache) design-space sweeps, GET /v1/kernels lists the
+// registry, /healthz and /debug/vars expose liveness and counters. See
+// docs/SERVICE.md for the wire reference and curl examples.
+//
+// Usage:
+//
+//	memexplored [-addr :8080] [-sweeps 4] [-workers 0] [-cache 128] [-drain 30s]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: new sweeps are rejected
+// with 503 while in-flight sweeps drain for up to -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memexplore/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "memexplored:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until ctx is canceled. When ready is
+// non-nil the bound listen address is sent on it once the listener is
+// up — the smoke test uses this with -addr 127.0.0.1:0.
+func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("memexplored", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8080", "listen address")
+	sweeps := fs.Int("sweeps", 4, "max concurrent sweeps (worker pool size)")
+	workers := fs.Int("workers", 0, "goroutines per sweep (0 = GOMAXPROCS)")
+	cacheN := fs.Int("cache", 128, "result-cache capacity in entries (negative disables)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := service.Config{
+		MaxConcurrentSweeps: *sweeps,
+		SweepWorkers:        *workers,
+		CacheEntries:        *cacheN,
+	}
+	return serve(ctx, *addr, cfg, *drain, logw, ready)
+}
+
+// serve runs the daemon until ctx is canceled, then drains gracefully.
+func serve(ctx context.Context, addr string, cfg service.Config, drain time.Duration, logw io.Writer, ready chan<- string) error {
+	svc := service.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger := log.New(logw, "memexplored ", log.LstdFlags)
+	hs := &http.Server{
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Printf("listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down: draining in-flight sweeps for up to %s", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := svc.Shutdown(dctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Printf("bye")
+	return nil
+}

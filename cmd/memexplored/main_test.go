@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke boots the daemon on an ephemeral port, runs the
+// acceptance path — a compress sweep served end-to-end, then the same
+// request answered from the result cache — and shuts down gracefully.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-sweeps", "2", "-drain", "5s"}, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"kernel":"compress","options":{"cache_sizes":[32,64],"line_sizes":[4,8],"assocs":[1],"tilings":[1]}}`
+	post := func() (cached bool, points int) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/explore", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("explore = %d: %s", resp.StatusCode, b)
+		}
+		var out struct {
+			Cached bool `json:"cached"`
+			Points int  `json:"points"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Cached, out.Points
+	}
+	if cached, points := post(); cached || points == 0 {
+		t.Fatalf("first sweep: cached=%v points=%d", cached, points)
+	}
+	if cached, _ := post(); !cached {
+		t.Error("repeated request not served from the cache")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard, nil); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, io.Discard, nil); err == nil {
+		t.Error("unlistenable address should fail")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"memexplore/internal/loopir"
@@ -26,7 +27,16 @@ type WeightedKernel struct {
 // independently and composes by trip count; inter-kernel cache reuse is
 // outside its model). The per-kernel sweeps are returned alongside the
 // aggregate so callers can reproduce Figure 10's per-kernel optima.
+// It is AggregateContext with a background context.
 func Aggregate(kernels []WeightedKernel, opts Options) (program []Metrics, perKernel map[string][]Metrics, err error) {
+	return AggregateContext(context.Background(), kernels, opts)
+}
+
+// AggregateContext is Aggregate with cancellation: each per-kernel sweep
+// runs under the context (checked between config points), so a canceled
+// or expired context stops the aggregation early. The returned error
+// then wraps both ErrCanceled and ctx.Err().
+func AggregateContext(ctx context.Context, kernels []WeightedKernel, opts Options) (program []Metrics, perKernel map[string][]Metrics, err error) {
 	if len(kernels) == 0 {
 		return nil, nil, fmt.Errorf("core: Aggregate needs at least one kernel")
 	}
@@ -40,8 +50,11 @@ func Aggregate(kernels []WeightedKernel, opts Options) (program []Metrics, perKe
 
 	perKernel = make(map[string][]Metrics, len(kernels))
 	for _, k := range kernels {
-		ms, err := Explore(k.Nest, opts)
+		ms, err := ExploreContext(ctx, k.Nest, opts)
 		if err != nil {
+			if isCanceled(err) {
+				return nil, nil, err
+			}
 			return nil, nil, fmt.Errorf("core: exploring %q: %w", k.Nest.Name, err)
 		}
 		perKernel[k.Nest.Name] = ms

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,33 +33,35 @@ import (
 )
 
 // Metrics is the outcome of evaluating one kernel under one configuration.
+// The JSON tags are the wire form served by cmd/memexplored and written by
+// cmd/memexplore -json; they are stable API.
 type Metrics struct {
 	// CacheSize, LineSize, Assoc, Tiling identify the configuration — the
 	// paper's (T, L, S, B).
-	CacheSize int
-	LineSize  int
-	Assoc     int
-	Tiling    int
+	CacheSize int `json:"cache_size"`
+	LineSize  int `json:"line_size"`
+	Assoc     int `json:"assoc"`
+	Tiling    int `json:"tiling"`
 	// Optimized reports whether the §4.1 off-chip assignment was applied.
-	Optimized bool
+	Optimized bool `json:"optimized"`
 
 	// Accesses, Hits, Misses are absolute counts from the simulator;
 	// MissRate is Misses/Accesses (per-reference accounting).
-	Accesses uint64
-	Hits     uint64
-	Misses   uint64
-	MissRate float64
+	Accesses uint64  `json:"accesses"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	MissRate float64 `json:"miss_rate"`
 	// ConflictMisses is filled only when Options.Classify is set.
-	ConflictMisses uint64
+	ConflictMisses uint64 `json:"conflict_misses,omitempty"`
 
 	// Cycles is the §2.2 processor-cycle estimate.
-	Cycles float64
+	Cycles float64 `json:"cycles"`
 	// EnergyNJ is the §2.3 energy estimate in nanojoules.
-	EnergyNJ float64
+	EnergyNJ float64 `json:"energy_nj"`
 	// Energy is the per-component decomposition of EnergyNJ.
-	Energy EnergyBreakdown
+	Energy EnergyBreakdown `json:"energy_breakdown"`
 	// AddBS is the measured Gray-code address-bus switching per access.
-	AddBS float64
+	AddBS float64 `json:"add_bs"`
 }
 
 // EnergyBreakdown splits the total energy into the §2.3 components, in
@@ -67,12 +70,12 @@ type Metrics struct {
 // (static leakage and write-back traffic), which are zero under the
 // paper's defaults.
 type EnergyBreakdown struct {
-	DecNJ   float64
-	CellNJ  float64
-	IONJ    float64
-	MainNJ  float64
-	LeakNJ  float64
-	WriteNJ float64
+	DecNJ   float64 `json:"dec_nj"`
+	CellNJ  float64 `json:"cell_nj"`
+	IONJ    float64 `json:"io_nj"`
+	MainNJ  float64 `json:"main_nj"`
+	LeakNJ  float64 `json:"leak_nj,omitempty"`
+	WriteNJ float64 `json:"write_nj,omitempty"`
 }
 
 // Total returns the summed components.
@@ -106,42 +109,44 @@ func (m Metrics) Label() string {
 }
 
 // Options parameterizes an exploration sweep. The zero value is not
-// useful; start from DefaultOptions.
+// useful; start from DefaultOptions, or call Normalize to fill defaults.
+// The JSON tags are the wire form accepted by cmd/memexplored; they are
+// stable API.
 type Options struct {
 	// CacheSizes are the candidate T values in bytes (powers of two).
-	CacheSizes []int
+	CacheSizes []int `json:"cache_sizes"`
 	// LineSizes are the candidate L values in bytes (powers of two; only
 	// values with §2.2 miss-penalty entries are legal).
-	LineSizes []int
+	LineSizes []int `json:"line_sizes"`
 	// Assocs are the candidate S values (1, 2, 4, 8).
-	Assocs []int
+	Assocs []int `json:"assocs"`
 	// Tilings are the candidate B values; each is additionally capped at
 	// T/L during the sweep, per the algorithm.
-	Tilings []int
+	Tilings []int `json:"tilings"`
 	// MaxOnChip is M, the on-chip memory bound: configurations with
 	// T > MaxOnChip are skipped. Zero means no bound.
-	MaxOnChip int
+	MaxOnChip int `json:"max_on_chip,omitempty"`
 	// OptimizeLayout applies the §4.1 off-chip assignment; when false the
 	// arrays are packed sequentially (the "unoptimized" columns of
 	// Figures 5 and 9).
-	OptimizeLayout bool
+	OptimizeLayout bool `json:"optimize_layout"`
 	// Energy supplies the §2.3 coefficients and the main-memory part.
-	Energy energy.Params
+	Energy energy.Params `json:"energy"`
 	// Classify enables 3C miss classification (slower; fills
 	// ConflictMisses).
-	Classify bool
+	Classify bool `json:"classify,omitempty"`
 	// Replacement overrides the within-set victim policy (default LRU,
 	// the paper's implicit choice).
-	Replacement cachesim.Replacement
+	Replacement cachesim.Replacement `json:"replacement,omitempty"`
 	// WriteThrough switches the cache from write-back (the default) to
 	// write-through.
-	WriteThrough bool
+	WriteThrough bool `json:"write_through,omitempty"`
 	// NoWriteAllocate disables allocation on write misses.
-	NoWriteAllocate bool
+	NoWriteAllocate bool `json:"no_write_allocate,omitempty"`
 	// VictimLines attaches a fully associative victim buffer of that many
 	// lines to every simulated cache (0 = none; an extension knob — the
 	// ext-victim exhibit compares it against the §4.1 layout).
-	VictimLines int
+	VictimLines int `json:"victim_lines,omitempty"`
 }
 
 // cacheConfig builds the simulator configuration for a sweep point under
@@ -168,25 +173,73 @@ func DefaultOptions() Options {
 	}
 }
 
-// Validate checks the options.
+// Validate checks the options. Structural problems are reported as
+// *ErrInvalidOptions with the offending wire field named.
 func (o Options) Validate() error {
-	if len(o.CacheSizes) == 0 || len(o.LineSizes) == 0 || len(o.Assocs) == 0 || len(o.Tilings) == 0 {
-		return fmt.Errorf("core: options must list at least one cache size, line size, associativity and tiling")
+	for _, c := range []struct {
+		field string
+		vals  []int
+	}{
+		{"cache_sizes", o.CacheSizes},
+		{"line_sizes", o.LineSizes},
+		{"assocs", o.Assocs},
+		{"tilings", o.Tilings},
+	} {
+		if len(c.vals) == 0 {
+			return invalidOptions(c.field, "must list at least one candidate")
+		}
 	}
 	for _, l := range o.LineSizes {
 		if _, err := cycles.CyclesPerMiss(l); err != nil {
-			return fmt.Errorf("core: line size %d has no cycle-model entry: %w", l, err)
+			return invalidOptions("line_sizes", "line size %d has no cycle-model entry: %v", l, err)
 		}
 	}
 	for _, b := range o.Tilings {
 		if b < 1 {
-			return fmt.Errorf("core: tiling size %d must be ≥ 1", b)
+			return invalidOptions("tilings", "tiling size %d must be ≥ 1", b)
 		}
 	}
 	if o.VictimLines < 0 {
-		return fmt.Errorf("core: negative victim buffer size %d", o.VictimLines)
+		return invalidOptions("victim_lines", "negative victim buffer size %d", o.VictimLines)
 	}
-	return o.Energy.Validate()
+	if err := o.Energy.Validate(); err != nil {
+		return invalidOptions("energy", "%v", err)
+	}
+	return nil
+}
+
+// Normalize returns a canonical copy of the options: empty candidate
+// lists and a zero Energy are filled from DefaultOptions, and every
+// candidate list is sorted ascending with duplicates removed. Two Options
+// values that describe the same sweep normalize to identical structs, so
+// the normalized form (and its JSON encoding) is a sound cache key — the
+// service layer relies on this. Normalize does not validate; an absurd
+// but non-empty list survives it and is caught by Validate.
+func (o Options) Normalize() Options {
+	d := DefaultOptions()
+	norm := func(vals, def []int) []int {
+		if len(vals) == 0 {
+			return def
+		}
+		out := append([]int(nil), vals...)
+		sort.Ints(out)
+		w := 1
+		for i := 1; i < len(out); i++ {
+			if out[i] != out[w-1] {
+				out[w] = out[i]
+				w++
+			}
+		}
+		return out[:w]
+	}
+	o.CacheSizes = norm(o.CacheSizes, d.CacheSizes)
+	o.LineSizes = norm(o.LineSizes, d.LineSizes)
+	o.Assocs = norm(o.Assocs, d.Assocs)
+	o.Tilings = norm(o.Tilings, d.Tilings)
+	if o.Energy == (energy.Params{}) {
+		o.Energy = d.Energy
+	}
+	return o
 }
 
 // Explorer evaluates configurations for one kernel, caching generated
@@ -414,12 +467,13 @@ func (o Options) Space() []ConfigPoint {
 	return out
 }
 
-// ConfigPoint is one point of the exploration space.
+// ConfigPoint is one point of the exploration space. The JSON tags are
+// stable wire API, matching the identifying fields of Metrics.
 type ConfigPoint struct {
-	CacheSize int
-	LineSize  int
-	Assoc     int
-	Tiling    int
+	CacheSize int `json:"cache_size"`
+	LineSize  int `json:"line_size"`
+	Assoc     int `json:"assoc"`
+	Tiling    int `json:"tiling"`
 }
 
 // Config returns the cache configuration of the point.
@@ -428,8 +482,17 @@ func (p ConfigPoint) Config() cachesim.Config {
 }
 
 // Explore runs the full MemExplore sweep for a kernel and returns one
-// Metrics per legal configuration, in deterministic order.
+// Metrics per legal configuration, in deterministic order. It is
+// ExploreContext with a background context.
 func Explore(n *loopir.Nest, opts Options) ([]Metrics, error) {
+	return ExploreContext(context.Background(), n, opts)
+}
+
+// ExploreContext is Explore with cancellation: the context is checked
+// between config points, so a canceled or expired context stops the
+// sweep before the next evaluation. The returned error then wraps both
+// ErrCanceled and ctx.Err().
+func ExploreContext(ctx context.Context, n *loopir.Nest, opts Options) ([]Metrics, error) {
 	e, err := NewExplorer(n, opts)
 	if err != nil {
 		return nil, err
@@ -437,6 +500,9 @@ func Explore(n *loopir.Nest, opts Options) ([]Metrics, error) {
 	points := opts.Space()
 	out := make([]Metrics, 0, len(points))
 	for _, p := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
 		m, err := e.Evaluate(opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc), p.Tiling)
 		if err != nil {
 			return nil, fmt.Errorf("core: evaluating %s/%v: %w", n.Name, p, err)

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that an exploration stopped early because its
+// context was canceled or its deadline expired. Errors returned by the
+// *Context entry points wrap both ErrCanceled and the context's own
+// cause, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) keep working.
+var ErrCanceled = errors.New("core: exploration canceled")
+
+// canceled wraps a context error with ErrCanceled.
+func canceled(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// isCanceled reports whether err stems from context cancellation.
+func isCanceled(err error) bool { return errors.Is(err, ErrCanceled) }
+
+// ErrInvalidOptions reports a structurally invalid Options value. Field
+// names the offending wire field (the JSON tag, e.g. "line_sizes");
+// Reason says what is wrong with it. Retrieve it with errors.As:
+//
+//	var inv *core.ErrInvalidOptions
+//	if errors.As(err, &inv) { ... inv.Field ... }
+type ErrInvalidOptions struct {
+	Field  string
+	Reason string
+}
+
+func (e *ErrInvalidOptions) Error() string {
+	return fmt.Sprintf("core: invalid options: %s: %s", e.Field, e.Reason)
+}
+
+// invalidOptions builds an *ErrInvalidOptions with a formatted reason.
+func invalidOptions(field, format string, args ...any) error {
+	return &ErrInvalidOptions{Field: field, Reason: fmt.Sprintf(format, args...)}
+}

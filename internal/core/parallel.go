@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,17 +11,26 @@ import (
 
 // ExploreParallel is Explore with the sweep points distributed across
 // worker goroutines. Results are identical to Explore (same points, same
-// order); workers ≤ 0 uses GOMAXPROCS. Each worker owns a private
-// Explorer, so a few traces are generated once per worker instead of once
-// per sweep — a small, bounded duplication that buys linear scaling of
-// the simulation work.
+// order); workers ≤ 0 uses GOMAXPROCS. It is ExploreParallelContext with
+// a background context.
 func ExploreParallel(n *loopir.Nest, opts Options, workers int) ([]Metrics, error) {
+	return ExploreParallelContext(context.Background(), n, opts, workers)
+}
+
+// ExploreParallelContext is ExploreParallel with cancellation: every
+// worker checks the context between config points, so a canceled or
+// expired context stops the sweep early. The returned error then wraps
+// both ErrCanceled and ctx.Err(). Each worker owns a private Explorer,
+// so a few traces are generated once per worker instead of once per
+// sweep — a small, bounded duplication that buys linear scaling of the
+// simulation work.
+func ExploreParallelContext(ctx context.Context, n *loopir.Nest, opts Options, workers int) ([]Metrics, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	points := opts.Space()
 	if workers == 1 || len(points) < 2*workers {
-		return Explore(n, opts)
+		return ExploreContext(ctx, n, opts)
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -46,6 +56,10 @@ func ExploreParallel(n *loopir.Nest, opts Options, workers int) ([]Metrics, erro
 			lo := w * len(points) / workers
 			hi := (w + 1) * len(points) / workers
 			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					errs[w] = canceled(err)
+					return
+				}
 				p := points[i]
 				m, err := e.Evaluate(opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc), p.Tiling)
 				if err != nil {
@@ -57,10 +71,21 @@ func ExploreParallel(n *loopir.Nest, opts Options, workers int) ([]Metrics, erro
 		}(w)
 	}
 	wg.Wait()
+	// Prefer a non-cancellation error if any worker hit one: it is the
+	// more specific diagnosis.
+	var cancelErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if isCanceled(err) {
+			cancelErr = err
+			continue
+		}
+		return nil, err
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
 	}
 	return out, nil
 }

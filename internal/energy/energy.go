@@ -31,22 +31,22 @@ import (
 // quotes for documentation.
 type SRAM struct {
 	// Name identifies the part.
-	Name string
+	Name string `json:"name"`
 	// Bits is the capacity in bits.
-	Bits int64
+	Bits int64 `json:"bits,omitempty"`
 	// AccessNS is the access time in nanoseconds.
-	AccessNS float64
+	AccessNS float64 `json:"access_ns,omitempty"`
 	// VoltageV is the supply voltage.
-	VoltageV float64
+	VoltageV float64 `json:"voltage_v,omitempty"`
 	// CurrentMA is the active current in milliamps.
-	CurrentMA float64
+	CurrentMA float64 `json:"current_ma,omitempty"`
 	// EmNJ is the energy per memory access in nanojoules — the Em of the
 	// model.
-	EmNJ float64
+	EmNJ float64 `json:"em_nj"`
 	// WordBytes is the access width: a cache line of L bytes costs
 	// L/WordBytes memory accesses. The paper's formula Em·L corresponds to
 	// a byte-wide (×8) part, WordBytes = 1.
-	WordBytes int
+	WordBytes int `json:"word_bytes"`
 }
 
 // CypressCY7C is the paper's reference part: a 2 Mbit SRAM, 4 ns access,
@@ -81,35 +81,35 @@ func Catalog() []SRAM {
 type Params struct {
 	// Alpha is the address-decoding-path coefficient α in nJ per
 	// address-bus bit switch (0.001 for 0.8 µm CMOS).
-	Alpha float64
+	Alpha float64 `json:"alpha"`
 	// Beta is the cell-array coefficient β (2 for 0.8 µm CMOS), applied as
 	// Beta·CellScale nJ per cell on the activated word/bit lines.
-	Beta float64
+	Beta float64 `json:"beta"`
 	// Gamma is the I/O-pad coefficient γ (20 for 0.8 µm CMOS), applied as
 	// Gamma·IOScale nJ per switched pad-line term.
-	Gamma float64
+	Gamma float64 `json:"gamma"`
 	// CellScale converts β·cells to nJ. Default 1e-3 (β is pJ-scale).
-	CellScale float64
+	CellScale float64 `json:"cell_scale"`
 	// IOScale converts γ·(…) to nJ. Default 1e-3 (γ is pJ-scale).
-	IOScale float64
+	IOScale float64 `json:"io_scale"`
 	// DataActivity is Data_bs, the assumed data-bus switching factor per
 	// transferred byte (0.5; the paper's exact value is truncated in the
 	// available text).
-	DataActivity float64
+	DataActivity float64 `json:"data_activity"`
 	// Main is the off-chip memory part supplying Em.
-	Main SRAM
+	Main SRAM `json:"main"`
 
 	// LeakNJPerCycleKB is an optional static-leakage term: nJ leaked per
 	// processor cycle per KiB of cache capacity. The paper's 0.8 µm
 	// process predates leakage concerns, so the default is 0; setting it
 	// models deep-submicron what-if studies (the Ablations exhibit uses
 	// it). Charged by the exploration core, which knows the cycle count.
-	LeakNJPerCycleKB float64
+	LeakNJPerCycleKB float64 `json:"leak_nj_per_cycle_kb,omitempty"`
 	// CountWriteTraffic, when true, charges write-backs the same
 	// I/O+main-memory energy as line fetches. The paper counts READ
 	// energy only ("reads dominate processor cache accesses"), so the
 	// default is false.
-	CountWriteTraffic bool
+	CountWriteTraffic bool `json:"count_write_traffic,omitempty"`
 }
 
 // DefaultParams returns the paper's 0.8 µm coefficients with the given

@@ -9,6 +9,7 @@
 package kernels
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -190,14 +191,20 @@ func All() []*loopir.Nest {
 	return ns
 }
 
-// ByName returns the kernel with the given nest name.
+// ErrUnknownKernel is the sentinel wrapped by ByName for names that are
+// not in the registry; detect it with errors.Is. The service layer maps
+// it to HTTP 404.
+var ErrUnknownKernel = errors.New("unknown kernel")
+
+// ByName returns the kernel with the given nest name. For unregistered
+// names the error wraps ErrUnknownKernel.
 func ByName(name string) (*loopir.Nest, error) {
 	for _, n := range All() {
 		if n.Name == name {
 			return n, nil
 		}
 	}
-	return nil, fmt.Errorf("kernels: unknown kernel %q (have %v)", name, Names())
+	return nil, fmt.Errorf("kernels: %w %q (have %v)", ErrUnknownKernel, name, Names())
 }
 
 // Names returns all registered kernel names, sorted.

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"sync/atomic"
+)
+
+// Service counters, published once per process under the "memexplored"
+// expvar map (GET /debug/vars). expvar registration is global, so all
+// Server instances in a process share one counter set; tests read deltas.
+type counters struct {
+	requests    expvar.Int // requests to the sweep endpoints
+	cacheHits   expvar.Int // requests answered from the result cache
+	cacheMisses expvar.Int // requests that had to run a sweep
+	inFlight    expvar.Int // sweeps currently executing
+	points      expvar.Int // config points evaluated by completed sweeps
+	canceled    expvar.Int // requests abandoned by the client mid-sweep
+	failed      expvar.Int // requests rejected or errored
+	latency     latencyHist
+}
+
+var vars = func() *counters {
+	c := &counters{}
+	m := expvar.NewMap("memexplored")
+	m.Set("requests", &c.requests)
+	m.Set("cache_hits", &c.cacheHits)
+	m.Set("cache_misses", &c.cacheMisses)
+	m.Set("in_flight_sweeps", &c.inFlight)
+	m.Set("points_evaluated", &c.points)
+	m.Set("canceled", &c.canceled)
+	m.Set("failed", &c.failed)
+	m.Set("latency_ms", &c.latency)
+	return c
+}()
+
+// latencyBoundsMS are the histogram bucket upper bounds in milliseconds;
+// the final implicit bucket is +Inf.
+var latencyBoundsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// latencyHist is a fixed-bucket latency histogram with p50/p99 readouts.
+// Quantiles are estimated as the upper bound of the bucket containing the
+// quantile rank — coarse, but monotone and lock-free.
+type latencyHist struct {
+	buckets [14]atomic.Int64 // len(latencyBoundsMS)+1, last = overflow
+	count   atomic.Int64
+}
+
+// Observe records one duration in milliseconds.
+func (h *latencyHist) Observe(ms float64) {
+	i := 0
+	for i < len(latencyBoundsMS) && ms > latencyBoundsMS[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+}
+
+// Quantile returns the upper bound of the bucket containing quantile q
+// (0 < q ≤ 1), or 0 when nothing has been observed.
+func (h *latencyHist) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(latencyBoundsMS) {
+				return latencyBoundsMS[i]
+			}
+			return latencyBoundsMS[len(latencyBoundsMS)-1] // overflow bucket
+		}
+	}
+	return latencyBoundsMS[len(latencyBoundsMS)-1]
+}
+
+// String renders the histogram as the expvar JSON value: cumulative
+// counts per bucket plus the derived p50/p99.
+func (h *latencyHist) String() string {
+	out := `{"count":` + fmt.Sprint(h.count.Load())
+	out += fmt.Sprintf(`,"p50_ms":%g,"p99_ms":%g,"buckets":{`, h.Quantile(0.50), h.Quantile(0.99))
+	for i, b := range latencyBoundsMS {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf(`"le_%g":%d`, b, h.buckets[i].Load())
+	}
+	out += fmt.Sprintf(`,"le_inf":%d}}`, h.buckets[len(latencyBoundsMS)].Load())
+	return out
+}

@@ -1,0 +1,523 @@
+// Package service implements memexplored, the HTTP/JSON daemon that
+// serves MemExplore sweeps as an API (stdlib only). Endpoints:
+//
+//	POST /v1/explore    run (or recall) a sweep for one kernel
+//	POST /v1/aggregate  §5 trip-count-weighted multi-kernel aggregation
+//	GET  /v1/kernels    registered kernel names
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /debug/vars    expvar counters (see metrics.go)
+//
+// Sweeps run on a bounded worker pool via core.ExploreParallelContext
+// with the request context threaded through, so client disconnects and
+// deadlines cancel work between config points. Completed results are
+// kept in a content-addressed LRU cache keyed by the canonical hash of
+// (kernel source, normalized options); identical queries are answered
+// from memory. Shutdown drains in-flight sweeps while new work is
+// rejected with 503. See docs/SERVICE.md for the wire reference.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memexplore/internal/core"
+	"memexplore/internal/kernels"
+	"memexplore/internal/loopir"
+)
+
+// StatusClientClosedRequest is the non-standard status reported when the
+// client abandons a request mid-sweep (nginx's 499 convention). It is
+// mostly visible in logs: the client is usually gone before it is sent.
+const StatusClientClosedRequest = 499
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to its documented default.
+type Config struct {
+	// MaxConcurrentSweeps bounds the worker pool: at most this many
+	// sweeps execute at once, the rest queue until a slot frees or their
+	// context is canceled. Default 4.
+	MaxConcurrentSweeps int
+	// SweepWorkers is the per-sweep goroutine count handed to
+	// core.ExploreParallelContext. Default 0 = GOMAXPROCS.
+	SweepWorkers int
+	// CacheEntries is the result-cache capacity. Default 128; negative
+	// disables caching.
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentSweeps <= 0 {
+		c.MaxConcurrentSweeps = 4
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the memexplored HTTP handler plus its worker pool, result
+// cache and drain state. Create with New; it is safe for concurrent use.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *resultCache
+	sem      chan struct{}
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		cache: newResultCache(cfg.CacheEntries),
+		sem:   make(chan struct{}, cfg.MaxConcurrentSweeps),
+	}
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown starts draining: new sweep requests are rejected with 503
+// while in-flight sweeps run to completion. It returns when every
+// in-flight request has finished or ctx expires (then ctx.Err()).
+// Callers cancel the still-running sweeps by canceling the base context
+// of their http.Server, or simply by closing client connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// --- wire types -------------------------------------------------------
+
+// ExploreRequest is the POST /v1/explore body. Exactly one of Kernel (a
+// registered name) or Source (inline loop-nest text, the Nest.String
+// grammar) selects the workload.
+type ExploreRequest struct {
+	Kernel string `json:"kernel,omitempty"`
+	Source string `json:"source,omitempty"`
+	// Options overrides DefaultOptions field-by-field: absent fields keep
+	// their defaults, candidate lists are normalized (sorted, deduped).
+	Options json.RawMessage `json:"options,omitempty"`
+	// CycleBound/EnergyBoundNJ, when positive, add the paper's bounded
+	// selections to the response.
+	CycleBound    float64 `json:"cycle_bound,omitempty"`
+	EnergyBoundNJ float64 `json:"energy_bound_nj,omitempty"`
+}
+
+// Best collects the selection optima over a sweep. Bounded entries are
+// present only when the request set the bound; absent also when no
+// configuration meets it.
+type Best struct {
+	MinEnergy                 *core.Metrics `json:"min_energy,omitempty"`
+	MinCycles                 *core.Metrics `json:"min_cycles,omitempty"`
+	MinEDP                    *core.Metrics `json:"min_edp,omitempty"`
+	MinEnergyUnderCycleBound  *core.Metrics `json:"min_energy_under_cycle_bound,omitempty"`
+	MinCyclesUnderEnergyBound *core.Metrics `json:"min_cycles_under_energy_bound,omitempty"`
+}
+
+// ExploreResponse is the POST /v1/explore reply.
+type ExploreResponse struct {
+	Kernel  string         `json:"kernel"`
+	Cached  bool           `json:"cached"`
+	Points  int            `json:"points"`
+	Metrics []core.Metrics `json:"metrics"`
+	Best    Best           `json:"best"`
+}
+
+// AggregateKernel names one weighted kernel of an aggregate request.
+type AggregateKernel struct {
+	Kernel string `json:"kernel,omitempty"`
+	Source string `json:"source,omitempty"`
+	Trip   int64  `json:"trip"`
+}
+
+// AggregateRequest is the POST /v1/aggregate body.
+type AggregateRequest struct {
+	Kernels       []AggregateKernel `json:"kernels"`
+	Options       json.RawMessage   `json:"options,omitempty"`
+	CycleBound    float64           `json:"cycle_bound,omitempty"`
+	EnergyBoundNJ float64           `json:"energy_bound_nj,omitempty"`
+}
+
+// AggregateResponse is the POST /v1/aggregate reply. PerKernelBest maps
+// each kernel to its individual minimum-energy configuration (Figure 10's
+// per-kernel optima); Program carries the trip-weighted whole-program
+// sweep.
+type AggregateResponse struct {
+	Cached        bool                    `json:"cached"`
+	Points        int                     `json:"points"`
+	Program       []core.Metrics          `json:"program"`
+	Best          Best                    `json:"best"`
+	PerKernelBest map[string]core.Metrics `json:"per_kernel_best"`
+}
+
+// KernelsResponse is the GET /v1/kernels reply.
+type KernelsResponse struct {
+	Kernels []string `json:"kernels"`
+}
+
+// ErrorBody is the JSON error envelope: {"error": {...}}.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail describes a failed request. Code is a stable machine-
+// readable slug; Field is set for invalid_options errors.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, KernelsResponse{Kernels: kernels.Names()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	vars.requests.Add(1)
+	defer func() { vars.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+
+	if s.rejectDraining(w) {
+		return
+	}
+	var req ExploreRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid_request", err.Error(), "")
+		return
+	}
+	nest, ok := s.resolveNest(w, req.Kernel, req.Source)
+	if !ok {
+		return
+	}
+	opts, ok := s.resolveOptions(w, req.Options)
+	if !ok {
+		return
+	}
+
+	key := cacheKey("explore", nest.String(), mustJSON(opts))
+	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, int, error) {
+		ms, err := core.ExploreParallelContext(ctx, nest, opts, s.cfg.SweepWorkers)
+		return ms, len(ms), err
+	})
+	if err != nil {
+		s.failSweep(w, err)
+		return
+	}
+	ms := res.([]core.Metrics)
+	writeJSON(w, http.StatusOK, ExploreResponse{
+		Kernel:  nest.Name,
+		Cached:  cached,
+		Points:  len(ms),
+		Metrics: ms,
+		Best:    bestOf(ms, req.CycleBound, req.EnergyBoundNJ),
+	})
+}
+
+// aggregateResult is the cacheable part of an aggregate reply.
+type aggregateResult struct {
+	program       []core.Metrics
+	perKernelBest map[string]core.Metrics
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	vars.requests.Add(1)
+	defer func() { vars.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+
+	if s.rejectDraining(w) {
+		return
+	}
+	var req AggregateRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid_request", err.Error(), "")
+		return
+	}
+	if len(req.Kernels) == 0 {
+		s.fail(w, http.StatusBadRequest, "invalid_request", "kernels must list at least one weighted kernel", "")
+		return
+	}
+	ws := make([]core.WeightedKernel, 0, len(req.Kernels))
+	keyParts := []string{"aggregate"}
+	for i, k := range req.Kernels {
+		nest, ok := s.resolveNest(w, k.Kernel, k.Source)
+		if !ok {
+			return
+		}
+		if k.Trip <= 0 {
+			s.fail(w, http.StatusBadRequest, "invalid_request",
+				fmt.Sprintf("kernels[%d]: trip must be positive, got %d", i, k.Trip), "")
+			return
+		}
+		ws = append(ws, core.WeightedKernel{Nest: nest, Trip: k.Trip})
+		keyParts = append(keyParts, nest.String(), fmt.Sprint(k.Trip))
+	}
+	opts, ok := s.resolveOptions(w, req.Options)
+	if !ok {
+		return
+	}
+	keyParts = append(keyParts, mustJSON(opts))
+
+	key := cacheKey(keyParts...)
+	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, int, error) {
+		program, perKernel, err := core.AggregateContext(ctx, ws, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		agg := &aggregateResult{program: program, perKernelBest: make(map[string]core.Metrics, len(perKernel))}
+		points := 0
+		for name, ms := range perKernel {
+			points += len(ms)
+			if best, ok := core.MinEnergy(ms); ok {
+				agg.perKernelBest[name] = best
+			}
+		}
+		return agg, points, nil
+	})
+	if err != nil {
+		s.failSweep(w, err)
+		return
+	}
+	agg := res.(*aggregateResult)
+	writeJSON(w, http.StatusOK, AggregateResponse{
+		Cached:        cached,
+		Points:        len(agg.program),
+		Program:       agg.program,
+		Best:          bestOf(agg.program, req.CycleBound, req.EnergyBoundNJ),
+		PerKernelBest: agg.perKernelBest,
+	})
+}
+
+// --- request plumbing -------------------------------------------------
+
+// decodeBody strictly decodes a JSON body into dst: unknown fields and
+// trailing garbage are errors, so typos fail loudly instead of silently
+// running a default sweep.
+func decodeBody(body io.Reader, dst any) error {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("request body has trailing data after the JSON object")
+	}
+	return nil
+}
+
+// resolveNest turns a (kernel, source) pair into a validated nest,
+// writing the error response itself when it fails.
+func (s *Server) resolveNest(w http.ResponseWriter, kernel, source string) (*loopir.Nest, bool) {
+	switch {
+	case kernel != "" && source != "":
+		s.fail(w, http.StatusBadRequest, "invalid_request", "set exactly one of kernel and source, not both", "")
+		return nil, false
+	case kernel != "":
+		nest, err := kernels.ByName(kernel)
+		if err != nil {
+			if errors.Is(err, kernels.ErrUnknownKernel) {
+				s.fail(w, http.StatusNotFound, "unknown_kernel", err.Error(), "")
+			} else {
+				s.fail(w, http.StatusBadRequest, "invalid_request", err.Error(), "")
+			}
+			return nil, false
+		}
+		return nest, true
+	case source != "":
+		nest, err := loopir.Parse(source)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "invalid_kernel", err.Error(), "")
+			return nil, false
+		}
+		if err := nest.Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, "invalid_kernel", err.Error(), "")
+			return nil, false
+		}
+		return nest, true
+	default:
+		s.fail(w, http.StatusBadRequest, "invalid_request", "set one of kernel (registered name) or source (inline loop nest)", "")
+		return nil, false
+	}
+}
+
+// resolveOptions overlays the raw options onto DefaultOptions, then
+// normalizes and validates, writing the error response itself on failure.
+// The normalized form is what the sweep runs with AND what the cache key
+// hashes, so wire-equivalent requests share cache entries.
+func (s *Server) resolveOptions(w http.ResponseWriter, raw json.RawMessage) (core.Options, bool) {
+	opts := core.DefaultOptions()
+	if len(raw) > 0 {
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&opts); err != nil {
+			s.fail(w, http.StatusBadRequest, "invalid_options", fmt.Sprintf("decoding options: %v", err), "")
+			return core.Options{}, false
+		}
+	}
+	opts = opts.Normalize()
+	if err := opts.Validate(); err != nil {
+		var inv *core.ErrInvalidOptions
+		if errors.As(err, &inv) {
+			s.fail(w, http.StatusBadRequest, "invalid_options", inv.Reason, inv.Field)
+		} else {
+			s.fail(w, http.StatusBadRequest, "invalid_options", err.Error(), "")
+		}
+		return core.Options{}, false
+	}
+	return opts, true
+}
+
+// sweep serves a cache hit, or acquires a worker-pool slot and runs fn
+// under the request context. fn reports the number of config points it
+// evaluated for the expvar counter. Results are cached only on success.
+func (s *Server) sweep(ctx context.Context, key string, fn func(context.Context) (any, int, error)) (res any, cached bool, err error) {
+	if v, ok := s.cache.Get(key); ok {
+		vars.cacheHits.Add(1)
+		return v, true, nil
+	}
+	vars.cacheMisses.Add(1)
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("%w: %w", core.ErrCanceled, ctx.Err())
+	}
+	defer func() { <-s.sem }()
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	vars.inFlight.Add(1)
+	defer vars.inFlight.Add(-1)
+
+	res, points, err := fn(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	vars.points.Add(int64(points))
+	s.cache.Add(key, res)
+	return res, false, nil
+}
+
+// rejectDraining writes the 503 drain response and reports whether it did.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.fail(w, http.StatusServiceUnavailable, "draining", "server is shutting down, not accepting new sweeps", "")
+	return true
+}
+
+// failSweep maps a sweep error to its transport status.
+func (s *Server) failSweep(w http.ResponseWriter, err error) {
+	var inv *core.ErrInvalidOptions
+	switch {
+	case errors.Is(err, core.ErrCanceled):
+		vars.canceled.Add(1)
+		// The client has usually disconnected; the write is best-effort.
+		writeJSON(w, StatusClientClosedRequest, ErrorBody{Error: ErrorDetail{Code: "canceled", Message: err.Error()}})
+	case errors.As(err, &inv):
+		s.fail(w, http.StatusBadRequest, "invalid_options", inv.Reason, inv.Field)
+	default:
+		s.fail(w, http.StatusInternalServerError, "internal", err.Error(), "")
+	}
+}
+
+// fail writes the error envelope and bumps the failure counter.
+func (s *Server) fail(w http.ResponseWriter, status int, code, message, field string) {
+	vars.failed.Add(1)
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: message, Field: field}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the client may be gone; nothing useful to do
+}
+
+// mustJSON marshals a value that cannot fail (plain structs, no cycles).
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("service: marshaling %T: %v", v, err))
+	}
+	return string(b)
+}
+
+// bestOf computes the selection optima for a sweep.
+func bestOf(ms []core.Metrics, cycleBound, energyBoundNJ float64) Best {
+	var b Best
+	set := func(dst **core.Metrics, m core.Metrics, ok bool) {
+		if ok {
+			cp := m
+			*dst = &cp
+		}
+	}
+	m, ok := core.MinEnergy(ms)
+	set(&b.MinEnergy, m, ok)
+	m, ok = core.MinCycles(ms)
+	set(&b.MinCycles, m, ok)
+	m, ok = core.MinEDP(ms)
+	set(&b.MinEDP, m, ok)
+	if cycleBound > 0 {
+		m, ok = core.MinEnergyUnderCycleBound(ms, cycleBound)
+		set(&b.MinEnergyUnderCycleBound, m, ok)
+	}
+	if energyBoundNJ > 0 {
+		m, ok = core.MinCyclesUnderEnergyBound(ms, energyBoundNJ)
+		set(&b.MinCyclesUnderEnergyBound, m, ok)
+	}
+	return b
+}

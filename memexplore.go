@@ -26,11 +26,25 @@
 //	best, _ := memexplore.MinEnergy(metrics)
 //	fmt.Println(best.Label(), best.EnergyNJ)
 //
-// See the examples/ directory for complete programs and DESIGN.md for the
-// system inventory and per-experiment index.
+// # Cancellation and typed errors
+//
+// Every explore entry point has a context-aware variant — ExploreContext,
+// ExploreParallelContext, AggregateContext — that checks the context
+// between config points, so long sweeps honor cancellation and deadlines;
+// the plain variants are these with context.Background(). Failures at the
+// API boundary are typed: ErrUnknownKernel (Kernel), *ErrInvalidOptions
+// (Options.Validate and the explore entry points), and ErrCanceled (the
+// context variants, wrapped alongside ctx.Err()). Options, ConfigPoint
+// and Metrics carry stable JSON tags, and Options.Normalize puts options
+// in the canonical form the memexplored service caches on.
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// system inventory and per-experiment index, and docs/SERVICE.md for the
+// cmd/memexplored HTTP service over this API.
 package memexplore
 
 import (
+	"context"
 	"io"
 	"memexplore/internal/autotune"
 	"memexplore/internal/cachesim"
@@ -104,6 +118,20 @@ type (
 	LayoutPlan = layout.Plan
 )
 
+// Typed errors for the API boundary (see the package comment).
+var (
+	// ErrUnknownKernel is wrapped by Kernel for unregistered names.
+	ErrUnknownKernel = kernels.ErrUnknownKernel
+	// ErrCanceled is wrapped by the *Context entry points when their
+	// context is canceled or expires mid-sweep.
+	ErrCanceled = core.ErrCanceled
+)
+
+// ErrInvalidOptions is the structured validation error returned by
+// Options.Validate and the explore entry points; retrieve it with
+// errors.As to learn the offending wire field.
+type ErrInvalidOptions = core.ErrInvalidOptions
+
 // DefaultOptions returns the paper's sweep parameters: T ∈ 16..1024 bytes,
 // L ∈ 4..64, S ∈ {1,2,4,8}, B ∈ {1..16}, §4.1 layout optimization on, and
 // the Cypress CY7C main memory (Em = 4.95 nJ).
@@ -113,6 +141,13 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // returns one Metrics per legal configuration.
 func Explore(n *Nest, opts Options) ([]Metrics, error) { return core.Explore(n, opts) }
 
+// ExploreContext is Explore with cancellation: the context is checked
+// between config points, and a canceled or expired context yields an
+// error wrapping both ErrCanceled and ctx.Err().
+func ExploreContext(ctx context.Context, n *Nest, opts Options) ([]Metrics, error) {
+	return core.ExploreContext(ctx, n, opts)
+}
+
 // NewExplorer builds an incremental explorer for one kernel.
 func NewExplorer(n *Nest, opts Options) (*Explorer, error) { return core.NewExplorer(n, opts) }
 
@@ -120,6 +155,12 @@ func NewExplorer(n *Nest, opts Options) (*Explorer, error) { return core.NewExpl
 // the §5 trip-count weighting.
 func Aggregate(ks []WeightedKernel, opts Options) (program []Metrics, perKernel map[string][]Metrics, err error) {
 	return core.Aggregate(ks, opts)
+}
+
+// AggregateContext is Aggregate with cancellation threaded through every
+// per-kernel sweep.
+func AggregateContext(ctx context.Context, ks []WeightedKernel, opts Options) (program []Metrics, perKernel map[string][]Metrics, err error) {
+	return core.AggregateContext(ctx, ks, opts)
 }
 
 // Selection queries (§1, §3): the paper's bounded and unbounded optima.
@@ -228,6 +269,12 @@ func MinEDP(ms []Metrics) (Metrics, bool) { return core.MinEDP(ms) }
 // goroutines; results are identical to Explore.
 func ExploreParallel(n *Nest, opts Options, workers int) ([]Metrics, error) {
 	return core.ExploreParallel(n, opts, workers)
+}
+
+// ExploreParallelContext is ExploreParallel with cancellation checked by
+// every worker between config points.
+func ExploreParallelContext(ctx context.Context, n *Nest, opts Options, workers int) ([]Metrics, error) {
+	return core.ExploreParallelContext(ctx, n, opts, workers)
 }
 
 // EvaluateTrace scores an arbitrary pre-generated trace under one cache
