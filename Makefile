@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test short bench figs exhibits fuzz cover clean check serve
+.PHONY: all build vet test short bench bench-sweep bench-guard figs exhibits fuzz cover clean check serve
 
 all: build vet test
 
@@ -30,6 +30,16 @@ short:
 # One testing.B target per paper table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The sweep-engine comparison (per-point vs batched vs batched-parallel);
+# record the numbers in BENCH_sweep.json.
+bench-sweep:
+	$(GO) test -run '^$$' -bench BenchmarkExploreSweep -benchmem .
+
+# CI smoke: one iteration of the sweep benchmark on a vet-clean build —
+# catches engine regressions without paying full benchmark time.
+bench-guard: build vet
+	$(GO) test -run '^$$' -bench BenchmarkExploreSweep -benchtime 1x .
 
 # Regenerate every exhibit with REPRODUCED/DIVERGED checks.
 figs:

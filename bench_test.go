@@ -11,11 +11,13 @@
 package memexplore_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"memexplore/internal/bus"
 	"memexplore/internal/cachesim"
+	"memexplore/internal/core"
 	"memexplore/internal/figures"
 	"memexplore/internal/kernels"
 	"memexplore/internal/loopir"
@@ -149,6 +151,41 @@ func BenchmarkAblationReplacement(b *testing.B) {
 	b.ReportMetric(rates["LRU"], "lru-missrate")
 	b.ReportMetric(rates["FIFO"], "fifo-missrate")
 	b.ReportMetric(rates["random"], "random-missrate")
+}
+
+// BenchmarkExploreSweep measures the full DefaultOptions Compress sweep
+// (441 points, sequential layout) on the three engines: the per-point
+// reference path, the workload-grouped batched engine, and the batched
+// engine with worker parallelism. The numbers for the record live in
+// BENCH_sweep.json; refresh them with `make bench-sweep`.
+func BenchmarkExploreSweep(b *testing.B) {
+	n := kernels.Compress()
+	opts := core.DefaultOptions()
+	opts.OptimizeLayout = false
+	ctx := context.Background()
+
+	run := func(b *testing.B, explore func() ([]core.Metrics, error)) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ms, err := explore()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(ms)), "points")
+			}
+		}
+	}
+	b.Run("per-point", func(b *testing.B) {
+		run(b, func() ([]core.Metrics, error) { return core.ExplorePerPointContext(ctx, n, opts) })
+	})
+	b.Run("batched", func(b *testing.B) {
+		run(b, func() ([]core.Metrics, error) { return core.ExploreContext(ctx, n, opts) })
+	})
+	b.Run("batched-parallel", func(b *testing.B) {
+		run(b, func() ([]core.Metrics, error) { return core.ExploreParallelContext(ctx, n, opts, 4) })
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed on a long

@@ -116,6 +116,13 @@ func main() {
 		return
 	}
 
+	if !*icacheMode {
+		if w := opts.Workloads(); w < len(ms) {
+			fmt.Printf("evaluated %d configurations over %d workload traces (%d trace passes saved by batching)\n\n",
+				len(ms), w, len(ms)-w)
+		}
+	}
+
 	byEnergy := append([]memexplore.Metrics(nil), ms...)
 	sort.SliceStable(byEnergy, func(i, j int) bool { return byEnergy[i].EnergyNJ < byEnergy[j].EnergyNJ })
 	if *top > 0 && len(byEnergy) > *top {

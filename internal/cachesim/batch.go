@@ -1,11 +1,17 @@
 package cachesim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"memexplore/internal/trace"
 )
+
+// CancelCheckInterval is how many references RunContext and
+// RunTraceContext process between context checks: a canceled context
+// stops a running batch within one interval.
+const CancelCheckInterval = 8192
 
 // Batch simulates many cache configurations in a single pass over a
 // trace — the classic Dinero IV trick for sweeps: the trace is read once
@@ -51,6 +57,64 @@ func (b *Batch) Run(src trace.Source) ([]Stats, error) {
 			return nil, fmt.Errorf("cachesim: batch reading trace: %w", err)
 		}
 		b.Access(r)
+	}
+	return b.Stats(), nil
+}
+
+// RunContext is Run with cancellation: the context is checked every
+// CancelCheckInterval references, so a canceled or expired context stops
+// the pass within one interval and returns ctx.Err().
+func (b *Batch) RunContext(ctx context.Context, src trace.Source) ([]Stats, error) {
+	for n := 0; ; n++ {
+		if n%CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cachesim: batch reading trace: %w", err)
+		}
+		b.Access(r)
+	}
+	return b.Stats(), nil
+}
+
+// RunTraceContext drives an in-memory trace through every cache in one
+// pass — the sweep engine's hot path. The context is checked every
+// CancelCheckInterval references (a canceled context stops the pass
+// within one interval and returns ctx.Err()); observe, when non-nil, is
+// invoked for every reference in the same traversal, which lets callers
+// fuse per-trace measurements (e.g. address-bus switching) into the
+// simulation pass instead of re-scanning the trace.
+// The trace is walked in CancelCheckInterval-sized blocks, and within a
+// block each cache consumes the whole block before the next cache runs:
+// the per-cache state stays resident instead of every reference fanning
+// out across all caches, which dominates wall-clock for wide batches.
+// Statistics and final state are identical either way — caches do not
+// interact.
+func (b *Batch) RunTraceContext(ctx context.Context, tr *trace.Trace, observe func(trace.Ref)) ([]Stats, error) {
+	refs := tr.Refs()
+	for start := 0; ; start += CancelCheckInterval {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if start >= len(refs) {
+			break
+		}
+		end := min(start+CancelCheckInterval, len(refs))
+		block := refs[start:end]
+		if observe != nil {
+			for _, r := range block {
+				observe(r)
+			}
+		}
+		for _, c := range b.caches {
+			c.AccessBlock(block)
+		}
 	}
 	return b.Stats(), nil
 }

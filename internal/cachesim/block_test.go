@@ -1,0 +1,144 @@
+package cachesim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"memexplore/internal/trace"
+)
+
+// blockTestTrace mixes reads, writes and line-straddling references so the
+// AccessBlock fast paths see every branch.
+func blockTestTrace() *trace.Trace {
+	rng := rand.New(rand.NewSource(7))
+	tr := trace.Concat(
+		trace.Loop(0, 1024, 4, 3),
+		trace.PingPong(0, 256, 80),
+		trace.Random(rng, 0, 4096, 400),
+	)
+	refs := tr.Refs()
+	for i := range refs {
+		switch i % 5 {
+		case 1:
+			refs[i].Kind = trace.Write
+		case 2:
+			refs[i].Kind = trace.Fetch
+		case 3:
+			// Straddle a line boundary: wide access at an odd offset.
+			refs[i].Addr |= 3
+			refs[i].Size = 8
+		}
+	}
+	return tr
+}
+
+// TestAccessBlockMatchesAccess checks the batched per-block path against
+// per-reference Access across policies, write modes and geometries,
+// including the configurations that take the AccessBlock fallback path
+// (victim buffers).
+func TestAccessBlockMatchesAccess(t *testing.T) {
+	tr := blockTestTrace()
+	var cfgs []Config
+	for _, geom := range [][3]int{{64, 8, 1}, {256, 16, 2}, {512, 8, 4}, {128, 16, 8}} {
+		for _, repl := range []Replacement{LRU, FIFO, Random} {
+			for _, wb := range []bool{true, false} {
+				for _, wa := range []bool{true, false} {
+					for _, victim := range []int{0, 2} {
+						cfg := DefaultConfig(geom[0], geom[1], geom[2])
+						cfg.Replacement = repl
+						cfg.WriteBack = wb
+						cfg.WriteAllocate = wa
+						cfg.VictimLines = victim
+						cfgs = append(cfgs, cfg)
+					}
+				}
+			}
+		}
+	}
+	for _, cfg := range cfgs {
+		ref := mustCache(t, cfg)
+		for _, r := range tr.Refs() {
+			ref.Access(r)
+		}
+		blk := mustCache(t, cfg)
+		// Uneven chunks exercise the block boundaries.
+		refs := tr.Refs()
+		for start := 0; start < len(refs); start += 97 {
+			end := min(start+97, len(refs))
+			blk.AccessBlock(refs[start:end])
+		}
+		if ref.Stats() != blk.Stats() {
+			t.Errorf("%+v: AccessBlock stats %+v != Access stats %+v", cfg, blk.Stats(), ref.Stats())
+		}
+	}
+}
+
+func TestRunTraceContextMatchesRun(t *testing.T) {
+	tr := blockTestTrace()
+	cfgs := []Config{
+		DefaultConfig(64, 8, 1),
+		DefaultConfig(256, 16, 2),
+		DefaultConfig(512, 8, 4),
+	}
+	want, err := RunBatch(cfgs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed int
+	got, err := b.RunTraceContext(context.Background(), tr, func(trace.Ref) { observed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed != tr.Len() {
+		t.Errorf("observe saw %d refs, want %d", observed, tr.Len())
+	}
+	for i := range cfgs {
+		if got[i] != want[i] {
+			t.Errorf("config %d: RunTraceContext %+v != Run %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunTraceContextCancel(t *testing.T) {
+	// A long synthetic trace, canceled from the observe callback: the pass
+	// must stop within one CancelCheckInterval of the cancellation point.
+	var tr trace.Trace
+	for i := 0; i < 3*CancelCheckInterval; i++ {
+		tr.Append(trace.Ref{Addr: uint64(i % 4096)})
+	}
+	b, err := NewBatch([]Config{DefaultConfig(64, 8, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	processed := 0
+	_, err = b.RunTraceContext(ctx, &tr, func(trace.Ref) {
+		processed++
+		if processed == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if processed > 10+CancelCheckInterval {
+		t.Errorf("processed %d refs after canceling at 10; want within one interval (%d)", processed, CancelCheckInterval)
+	}
+
+	// A pre-canceled context returns before touching any reference.
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	touched := 0
+	if _, err := b.RunTraceContext(pre, &tr, func(trace.Ref) { touched++ }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled err = %v, want context.Canceled", err)
+	}
+	if touched != 0 {
+		t.Errorf("pre-canceled pass touched %d refs, want 0", touched)
+	}
+}

@@ -23,8 +23,17 @@ type line struct {
 type Cache struct {
 	cfg   Config
 	sets  [][]line
+	lines []line // flat backing array for sets: set i is lines[i*Assoc : (i+1)*Assoc]
 	clock uint64
 	stats Stats
+
+	// Geometry derived from cfg once at construction. The per-line lookup
+	// is the simulator's hot loop; recomputing NumSets/IndexBits there
+	// costs two integer divisions per line touch, which dominates small-set
+	// scans in wide sweeps.
+	offShift uint   // log2(LineBytes)
+	idxShift uint   // log2(NumSets)
+	setMask  uint64 // NumSets - 1
 
 	// rngState drives the Random replacement policy (xorshift64).
 	rngState uint64
@@ -66,11 +75,17 @@ func newCache(cfg Config, classify bool) (*Cache, error) {
 	c := &Cache{
 		cfg:        cfg,
 		sets:       make([][]line, cfg.NumSets()),
+		lines:      make([]line, cfg.NumSets()*cfg.Assoc),
+		offShift:   uint(cfg.OffsetBits()),
+		idxShift:   uint(cfg.IndexBits()),
+		setMask:    uint64(cfg.NumSets() - 1),
 		rngState:   0x9e3779b97f4a7c15,
 		classify3C: classify,
 	}
+	// Sets are views into one contiguous backing array: the whole cache
+	// state stays in a few hardware cache lines during a simulation pass.
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
+		c.sets[i] = c.lines[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	if classify {
 		c.seen = make(map[uint64]struct{})
@@ -119,8 +134,8 @@ type AccessResult struct {
 // spanned line hits.
 func (c *Cache) Access(r trace.Ref) AccessResult {
 	c.clock++
-	first := c.cfg.LineAddr(r.Addr)
-	last := c.cfg.LineAddr(r.LastByte())
+	first := r.Addr >> c.offShift
+	last := r.LastByte() >> c.offShift
 
 	res := AccessResult{Hit: true, Class: NotMiss, LinesTouched: int(last-first) + 1}
 	for la := first; la <= last; la++ {
@@ -168,11 +183,155 @@ func (c *Cache) Access(r trace.Ref) AccessResult {
 	return res
 }
 
+// AccessBlock simulates a slice of references in order, exactly
+// equivalent to calling Access on each (same statistics, same cache
+// contents), discarding the per-access results. Caches without 3C
+// classification and without a victim buffer take a specialized hot
+// path with the per-line lookup inlined — the batched sweep engine
+// processes the trace in blocks so each cache's state stays resident
+// while it runs, instead of fanning every reference across all caches.
+func (c *Cache) AccessBlock(refs []trace.Ref) {
+	if c.classify3C || c.cfg.VictimLines > 0 {
+		for _, r := range refs {
+			c.Access(r)
+		}
+		return
+	}
+	writeBack, writeAlloc := c.cfg.WriteBack, c.cfg.WriteAllocate
+	if c.cfg.Assoc == 1 {
+		// Direct-mapped: the set is a single line, so the way scan, empty-way
+		// search and victim pick all collapse to one indexed compare (the
+		// replacement policy is irrelevant when there is only one way).
+		// Clock and statistics live in locals for the whole block — the loop
+		// makes no calls, so they stay in registers.
+		mask := c.setMask
+		lines := c.lines[:mask+1]
+		offShift, idxShift := c.offShift, c.idxShift
+		clock := c.clock
+		st := c.stats
+		for _, r := range refs {
+			clock++
+			first := r.Addr >> offShift
+			last := r.LastByte() >> offShift
+			isWrite := r.Kind == trace.Write
+			hit := true
+			for la := first; la <= last; la++ {
+				l := &lines[la&mask]
+				tag := la >> idxShift
+				if l.valid && l.tag == tag {
+					l.lastUse = clock
+					if isWrite {
+						if writeBack {
+							l.dirty = true
+						} else {
+							st.WriteThroughs++
+						}
+					}
+					continue
+				}
+				hit = false
+				if isWrite && !writeAlloc {
+					// Write miss without allocation: goes straight to memory.
+					st.WriteThroughs++
+					continue
+				}
+				if l.valid && l.dirty {
+					st.WriteBacks++
+				}
+				*l = line{tag: tag, valid: true, dirty: isWrite && writeBack, lastUse: clock, fillTime: clock}
+				if isWrite && !writeBack {
+					st.WriteThroughs++
+				}
+				st.LinesFetched++
+			}
+			st.tally(r.Kind, hit)
+		}
+		c.clock = clock
+		c.stats = st
+		return
+	}
+	for _, r := range refs {
+		c.clock++
+		first := r.Addr >> c.offShift
+		last := r.LastByte() >> c.offShift
+		isWrite := r.Kind == trace.Write
+		hit := true
+		for la := first; la <= last; la++ {
+			setIdx := la & c.setMask
+			tag := la >> c.idxShift
+			set := c.sets[setIdx]
+			found := false
+			for i := range set {
+				if set[i].valid && set[i].tag == tag {
+					set[i].lastUse = c.clock
+					if isWrite {
+						if writeBack {
+							set[i].dirty = true
+						} else {
+							c.stats.WriteThroughs++
+						}
+					}
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			hit = false
+			if isWrite && !writeAlloc {
+				// Write miss without allocation: goes straight to memory.
+				c.stats.WriteThroughs++
+				continue
+			}
+			c.installLine(set, setIdx, tag, r.Kind, false)
+			if isWrite && !writeBack {
+				c.stats.WriteThroughs++
+			}
+			c.stats.LinesFetched++
+		}
+		c.stats.tally(r.Kind, hit)
+	}
+}
+
+// tally applies the per-access statistics shared by the AccessBlock fast
+// paths, mirroring the tail of Access for non-classified caches (every
+// miss carries the Capacity placeholder class, see accessLine).
+func (st *Stats) tally(kind trace.Kind, hit bool) {
+	st.Accesses++
+	switch kind {
+	case trace.Read:
+		st.Reads++
+	case trace.Write:
+		st.Writes++
+	case trace.Fetch:
+		st.Fetches++
+	}
+	if hit {
+		st.Hits++
+		switch kind {
+		case trace.Read:
+			st.ReadHits++
+		case trace.Write:
+			st.WriteHits++
+		}
+	} else {
+		st.Misses++
+		switch kind {
+		case trace.Read:
+			st.ReadMisses++
+		case trace.Write:
+			st.WriteMisses++
+		}
+		st.CapacityMisses++
+	}
+}
+
 // accessLine performs the per-line lookup/fill and returns whether the line
 // hit and, if not, its 3C class.
 func (c *Cache) accessLine(lineAddr uint64, kind trace.Kind) (bool, MissClass) {
-	setIdx := lineAddr & uint64(c.cfg.NumSets()-1)
-	tag := lineAddr >> uint(c.cfg.IndexBits())
+	setIdx := lineAddr & c.setMask
+	tag := lineAddr >> c.idxShift
 	set := c.sets[setIdx]
 
 	// Shadow structures are updated on every line touch so that the
@@ -268,7 +427,7 @@ func (c *Cache) evictLine(l line, setIdx uint64) {
 		}
 		return
 	}
-	lineAddr := l.tag<<uint(c.cfg.IndexBits()) | setIdx
+	lineAddr := l.tag<<c.idxShift | setIdx
 	c.victimInsert(victimEntry{lineAddr: lineAddr, dirty: l.dirty})
 }
 
@@ -364,8 +523,8 @@ func RunTraceFast(cfg Config, tr *trace.Trace) (Stats, error) {
 // Intended for tests and invariant checks.
 func (c *Cache) Contains(addr uint64) bool {
 	lineAddr := c.cfg.LineAddr(addr)
-	set := c.sets[lineAddr&uint64(c.cfg.NumSets()-1)]
-	tag := lineAddr >> uint(c.cfg.IndexBits())
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.idxShift
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return true

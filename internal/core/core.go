@@ -410,8 +410,27 @@ func scoreStats(cfg cachesim.Config, tiling int, p energy.Params, st cachesim.St
 // EvaluateTrace scores an arbitrary pre-generated trace under one cache
 // configuration, with 3C classification when classify is set. It is the
 // building block for compositions the sweep does not cover (e.g. warm
-// multi-kernel pipelines).
+// multi-kernel pipelines). It re-measures the trace's bus activity on
+// every call; when scoring one trace under many configurations, measure
+// once with TraceAddBS and use EvaluateTraceMeasured instead.
 func EvaluateTrace(tr *trace.Trace, cfg cachesim.Config, tiling int, p energy.Params, classify bool) (Metrics, error) {
+	return EvaluateTraceMeasured(tr, TraceAddBS(tr), cfg, tiling, p, classify)
+}
+
+// TraceAddBS measures the Gray-coded address-bus switching per access of
+// a trace — the Add_bs input of the §2.3 energy model and of
+// EvaluateTraceMeasured. The value depends only on the trace, so callers
+// scoring one trace under many configurations should measure once and
+// reuse it.
+func TraceAddBS(tr *trace.Trace) float64 {
+	return bus.MeasureTrace(tr, bus.Gray).AddBS()
+}
+
+// EvaluateTraceMeasured is EvaluateTrace with the trace's measured
+// AddBS supplied by the caller (see TraceAddBS), so compositions that
+// score one trace under many configurations — WarmTrace pipelines, the
+// hierarchy sweeps — don't re-scan the trace per configuration.
+func EvaluateTraceMeasured(tr *trace.Trace, addBS float64, cfg cachesim.Config, tiling int, p energy.Params, classify bool) (Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
 	}
@@ -427,7 +446,6 @@ func EvaluateTrace(tr *trace.Trace, cfg cachesim.Config, tiling int, p energy.Pa
 	if err != nil {
 		return Metrics{}, err
 	}
-	addBS := bus.MeasureTrace(tr, bus.Gray).AddBS()
 	return scoreStats(cfg, tiling, p, st, addBS)
 }
 
@@ -489,10 +507,30 @@ func Explore(n *loopir.Nest, opts Options) ([]Metrics, error) {
 }
 
 // ExploreContext is Explore with cancellation: the context is checked
-// between config points, so a canceled or expired context stops the
-// sweep before the next evaluation. The returned error then wraps both
-// ErrCanceled and ctx.Err().
+// between workload groups and every few thousand references inside a
+// running batch, so a canceled or expired context stops the sweep within
+// one check interval. The returned error then wraps both ErrCanceled and
+// ctx.Err().
+//
+// Non-classified sweeps run on the workload-grouped batched engine (see
+// batch.go): each distinct trace is generated and traversed once for all
+// cache configurations that share it. Classified sweeps (Options.
+// Classify) keep the per-point reference path, because 3C classification
+// carries per-cache shadow state that dominates the cost anyway.
 func ExploreContext(ctx context.Context, n *loopir.Nest, opts Options) ([]Metrics, error) {
+	if opts.Classify {
+		return ExplorePerPointContext(ctx, n, opts)
+	}
+	return exploreBatched(ctx, n, opts, 1)
+}
+
+// ExplorePerPointContext is the reference engine: one full
+// trace-simulation pass per configuration point, exactly the paper's §1
+// loop nest. ExploreContext routes here for classified sweeps; it also
+// serves as the independent oracle the batched engine is equivalence-
+// tested and benchmarked against. Results are identical to
+// ExploreContext (same points, same deterministic order).
+func ExplorePerPointContext(ctx context.Context, n *loopir.Nest, opts Options) ([]Metrics, error) {
 	e, err := NewExplorer(n, opts)
 	if err != nil {
 		return nil, err

@@ -18,15 +18,23 @@ func ExploreParallel(n *loopir.Nest, opts Options, workers int) ([]Metrics, erro
 }
 
 // ExploreParallelContext is ExploreParallel with cancellation: every
-// worker checks the context between config points, so a canceled or
-// expired context stops the sweep early. The returned error then wraps
-// both ErrCanceled and ctx.Err(). Each worker owns a private Explorer,
-// so a few traces are generated once per worker instead of once per
-// sweep — a small, bounded duplication that buys linear scaling of the
-// simulation work.
+// worker checks the context between workload groups (and the batch pass
+// checks it every few thousand references), so a canceled or expired
+// context stops the sweep early. The returned error then wraps both
+// ErrCanceled and ctx.Err().
+//
+// Non-classified sweeps parallelize across workload groups on the
+// batched engine, sharing one mutex-guarded trace cache, so every trace
+// is generated exactly once per sweep and traversed once per group.
+// Classified sweeps (Options.Classify) keep the per-point path below,
+// where each worker owns a private Explorer — a small, bounded trace
+// duplication that buys linear scaling of the classification work.
 func ExploreParallelContext(ctx context.Context, n *loopir.Nest, opts Options, workers int) ([]Metrics, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if !opts.Classify {
+		return exploreBatched(ctx, n, opts, workers)
 	}
 	points := opts.Space()
 	if workers == 1 || len(points) < 2*workers {

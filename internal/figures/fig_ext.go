@@ -183,8 +183,11 @@ func ExtWarm() (*Result, error) {
 	}
 	tbl := report.New("", "config", "warm missrate", "cold missrate", "warm/cold")
 	improvedSomewhere := false
+	// The bus activity depends only on the trace: measure once, score
+	// every configuration against it.
+	warmAddBS := core.TraceAddBS(warm)
 	for _, cfg := range cfgs {
-		warmM, err := core.EvaluateTrace(warm, cfg, 1, opts.Energy, false)
+		warmM, err := core.EvaluateTraceMeasured(warm, warmAddBS, cfg, 1, opts.Energy, false)
 		if err != nil {
 			return nil, err
 		}

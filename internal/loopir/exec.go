@@ -52,55 +52,125 @@ func SequentialLayout(n *Nest, base uint64) Layout {
 	return l
 }
 
-// Visit executes the nest and calls fn for every reference of every
-// innermost iteration, passing the evaluated per-dimension indices.
-// Execution stops at the first error.
-func (n *Nest) Visit(fn func(r Ref, idx []int) error) error {
+// The executor compiles the nest's affine expressions once per run:
+// loop variables become slots in a flat []int environment and every
+// Expr becomes a sparse list of (slot, coefficient) terms, so the
+// per-iteration work is a handful of integer multiply-adds with no map
+// lookups. Validate guarantees every variable is a declared loop
+// variable (and bounds only use outer ones), so evaluation cannot fail
+// after it passes.
+
+// cTerm is one coefficient·slot term of a compiled affine expression.
+type cTerm struct {
+	slot int
+	coef int
+}
+
+// cExpr is a compiled Expr (or Bound): sum(coef·env[slot]) + cnst,
+// capped by min(·, cap). Plain expressions use cap = NoCap.
+type cExpr struct {
+	terms []cTerm
+	cnst  int
+	cap   int
+}
+
+func (e *cExpr) eval(env []int) int {
+	v := e.cnst
+	for _, t := range e.terms {
+		v += t.coef * env[t.slot]
+	}
+	if e.cap < v {
+		v = e.cap
+	}
+	return v
+}
+
+// cLoop is a compiled loop level.
+type cLoop struct {
+	lo, hi cExpr
+	step   int
+}
+
+// compileExec lowers the nest to the compiled executor form. The caller
+// must have validated the nest.
+func (n *Nest) compileExec() ([]cLoop, [][]cExpr) {
+	slot := make(map[string]int, len(n.Loops))
+	for d, l := range n.Loops {
+		slot[l.Var] = d
+	}
+	comp := func(e Expr, cap int) cExpr {
+		ce := cExpr{cnst: e.Const, cap: cap}
+		for v, c := range e.Coef {
+			if c != 0 {
+				ce.terms = append(ce.terms, cTerm{slot: slot[v], coef: c})
+			}
+		}
+		return ce
+	}
+	loops := make([]cLoop, len(n.Loops))
+	for d, l := range n.Loops {
+		loops[d] = cLoop{lo: comp(l.Lo.Expr, l.Lo.Cap), hi: comp(l.Hi.Expr, l.Hi.Cap), step: l.Step}
+	}
+	body := make([][]cExpr, len(n.Body))
+	for bi, r := range n.Body {
+		body[bi] = make([]cExpr, len(r.Index))
+		for d, e := range r.Index {
+			body[bi][d] = comp(e, NoCap)
+		}
+	}
+	return loops, body
+}
+
+// visitIndexed executes the compiled nest and calls fn for every body
+// reference of every innermost iteration with the body index and the
+// evaluated per-dimension indices. The idx slice is reused between
+// calls.
+func (n *Nest) visitIndexed(fn func(bi int, idx []int) error) error {
 	if err := n.Validate(); err != nil {
 		return err
 	}
-	env := make(map[string]int, len(n.Loops))
-	idxBuf := make([]int, 8)
+	loops, body := n.compileExec()
+	maxDims := 0
+	for _, idx := range body {
+		maxDims = max(maxDims, len(idx))
+	}
+	env := make([]int, len(loops))
+	idxBuf := make([]int, maxDims)
 	var run func(depth int) error
 	run = func(depth int) error {
-		if depth == len(n.Loops) {
-			for _, r := range n.Body {
-				if cap(idxBuf) < len(r.Index) {
-					idxBuf = make([]int, len(r.Index))
+		if depth == len(loops) {
+			for bi := range body {
+				ce := body[bi]
+				idx := idxBuf[:len(ce)]
+				for d := range ce {
+					idx[d] = ce[d].eval(env)
 				}
-				idx := idxBuf[:len(r.Index)]
-				for d, e := range r.Index {
-					v, err := e.Eval(env)
-					if err != nil {
-						return err
-					}
-					idx[d] = v
-				}
-				if err := fn(r, idx); err != nil {
+				if err := fn(bi, idx); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
-		l := n.Loops[depth]
-		lo, err := l.Lo.Eval(env)
-		if err != nil {
-			return err
-		}
-		hi, err := l.Hi.Eval(env)
-		if err != nil {
-			return err
-		}
-		for v := lo; v <= hi; v += l.Step {
-			env[l.Var] = v
+		l := &loops[depth]
+		lo, hi := l.lo.eval(env), l.hi.eval(env)
+		for v := lo; v <= hi; v += l.step {
+			env[depth] = v
 			if err := run(depth + 1); err != nil {
 				return err
 			}
 		}
-		delete(env, l.Var)
 		return nil
 	}
 	return run(0)
+}
+
+// Visit executes the nest and calls fn for every reference of every
+// innermost iteration, passing the evaluated per-dimension indices.
+// Execution stops at the first error.
+func (n *Nest) Visit(fn func(r Ref, idx []int) error) error {
+	return n.visitIndexed(func(bi int, idx []int) error {
+		return fn(n.Body[bi], idx)
+	})
 }
 
 // Iterations counts the innermost iterations the nest executes.
@@ -108,15 +178,28 @@ func (n *Nest) Iterations() (int64, error) {
 	if err := n.Validate(); err != nil {
 		return 0, err
 	}
-	// Count by visiting; bodies are cheap and bounds may be affine, so
-	// a closed form is not generally available.
+	// Walk the loop structure only — bounds may be affine, so the outer
+	// levels must execute, but the innermost trip count is closed-form.
+	loops, _ := n.compileExec()
+	env := make([]int, len(loops))
 	var iters int64
-	body := len(n.Body)
-	err := n.Visit(func(Ref, []int) error { iters++; return nil })
-	if err != nil {
-		return 0, err
+	var run func(depth int)
+	run = func(depth int) {
+		l := &loops[depth]
+		lo, hi := l.lo.eval(env), l.hi.eval(env)
+		if depth == len(loops)-1 {
+			if hi >= lo {
+				iters += int64((hi-lo)/l.step) + 1
+			}
+			return
+		}
+		for v := lo; v <= hi; v += l.step {
+			env[depth] = v
+			run(depth + 1)
+		}
 	}
-	return iters / int64(body), nil
+	run(0)
+	return iters, nil
 }
 
 // References counts the total memory references the nest issues — the
@@ -181,28 +264,35 @@ func (n *Nest) Generate(layout Layout) (*trace.Trace, error) {
 			elem:    elem,
 		}
 	}
+	// Resolve each body reference's array once, so the per-reference work
+	// below is pure integer arithmetic.
+	bodyArrays := make([]compiledArray, len(n.Body))
+	bodyKinds := make([]trace.Kind, len(n.Body))
+	for bi, r := range n.Body {
+		bodyArrays[bi] = arrays[r.Array]
+		bodyKinds[bi] = trace.Read
+		if r.Write {
+			bodyKinds[bi] = trace.Write
+		}
+	}
 	refs, err := n.References()
 	if err != nil {
 		return nil, err
 	}
 	tr := trace.New(int(refs))
-	err = n.Visit(func(r Ref, idx []int) error {
-		ca := arrays[r.Array]
+	err = n.visitIndexed(func(bi int, idx []int) error {
+		ca := &bodyArrays[bi]
 		off := 0
 		for d, v := range idx {
 			if v < 0 || v >= ca.dims[d] {
 				return fmt.Errorf("loopir: nest %q ref %s: index %d out of range [0,%d) in dimension %d",
-					n.Name, r, v, ca.dims[d], d)
+					n.Name, n.Body[bi], v, ca.dims[d], d)
 			}
 			off += v * ca.strides[d]
 		}
-		kind := trace.Read
-		if r.Write {
-			kind = trace.Write
-		}
 		tr.Append(trace.Ref{
 			Addr: ca.base + uint64(off),
-			Kind: kind,
+			Kind: bodyKinds[bi],
 			Size: uint8(ca.elem),
 		})
 		return nil

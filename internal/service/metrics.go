@@ -15,9 +15,14 @@ type counters struct {
 	cacheMisses expvar.Int // requests that had to run a sweep
 	inFlight    expvar.Int // sweeps currently executing
 	points      expvar.Int // config points evaluated by completed sweeps
+	workloads   expvar.Int // distinct workload traces generated/traversed
+	passesSaved expvar.Int // trace passes avoided by workload batching (points − workloads)
 	canceled    expvar.Int // requests abandoned by the client mid-sweep
 	failed      expvar.Int // requests rejected or errored
 	latency     latencyHist
+	// lastPointsPerSec is the throughput of the most recently completed
+	// (uncached) sweep — a gauge, not a cumulative counter.
+	lastPointsPerSec expvar.Float
 }
 
 var vars = func() *counters {
@@ -28,9 +33,12 @@ var vars = func() *counters {
 	m.Set("cache_misses", &c.cacheMisses)
 	m.Set("in_flight_sweeps", &c.inFlight)
 	m.Set("points_evaluated", &c.points)
+	m.Set("workloads_explored", &c.workloads)
+	m.Set("trace_passes_saved", &c.passesSaved)
 	m.Set("canceled", &c.canceled)
 	m.Set("failed", &c.failed)
 	m.Set("latency_ms", &c.latency)
+	m.Set("last_sweep_points_per_sec", &c.lastPointsPerSec)
 	return c
 }()
 

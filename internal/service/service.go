@@ -247,9 +247,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey("explore", nest.String(), mustJSON(opts))
-	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, int, error) {
+	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, sweepStats, error) {
 		ms, err := core.ExploreParallelContext(ctx, nest, opts, s.cfg.SweepWorkers)
-		return ms, len(ms), err
+		return ms, sweepStats{points: len(ms), workloads: sweepWorkloads(opts, len(ms))}, err
 	})
 	if err != nil {
 		s.failSweep(w, err)
@@ -310,10 +310,10 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	keyParts = append(keyParts, mustJSON(opts))
 
 	key := cacheKey(keyParts...)
-	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, int, error) {
+	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, sweepStats, error) {
 		program, perKernel, err := core.AggregateContext(ctx, ws, opts)
 		if err != nil {
-			return nil, 0, err
+			return nil, sweepStats{}, err
 		}
 		agg := &aggregateResult{program: program, perKernelBest: make(map[string]core.Metrics, len(perKernel))}
 		points := 0
@@ -323,7 +323,13 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 				agg.perKernelBest[name] = best
 			}
 		}
-		return agg, points, nil
+		// One explore sweep per kernel: each pays the options' workload
+		// count on the batched engine.
+		workloads := points
+		if !opts.Classify {
+			workloads = len(ws) * opts.Workloads()
+		}
+		return agg, sweepStats{points: points, workloads: workloads}, nil
 	})
 	if err != nil {
 		s.failSweep(w, err)
@@ -418,10 +424,30 @@ func (s *Server) resolveOptions(w http.ResponseWriter, raw json.RawMessage) (cor
 	return opts, true
 }
 
+// sweepStats is what a completed sweep reports for the expvar counters:
+// how many config points it scored and how many distinct workload traces
+// it generated and traversed to do so (equal to points for per-point
+// sweeps; far fewer on the batched engine).
+type sweepStats struct {
+	points    int
+	workloads int
+}
+
+// sweepWorkloads reports how many trace passes an explore sweep with the
+// given options performs over a space of `points` configurations:
+// classified sweeps run the per-point engine (one pass per point), all
+// others run one batch pass per distinct workload.
+func sweepWorkloads(opts core.Options, points int) int {
+	if opts.Classify {
+		return points
+	}
+	return opts.Workloads()
+}
+
 // sweep serves a cache hit, or acquires a worker-pool slot and runs fn
-// under the request context. fn reports the number of config points it
-// evaluated for the expvar counter. Results are cached only on success.
-func (s *Server) sweep(ctx context.Context, key string, fn func(context.Context) (any, int, error)) (res any, cached bool, err error) {
+// under the request context. fn reports the points/workloads it
+// evaluated for the expvar counters. Results are cached only on success.
+func (s *Server) sweep(ctx context.Context, key string, fn func(context.Context) (any, sweepStats, error)) (res any, cached bool, err error) {
 	if v, ok := s.cache.Get(key); ok {
 		vars.cacheHits.Add(1)
 		return v, true, nil
@@ -440,11 +466,19 @@ func (s *Server) sweep(ctx context.Context, key string, fn func(context.Context)
 	vars.inFlight.Add(1)
 	defer vars.inFlight.Add(-1)
 
-	res, points, err := fn(ctx)
+	begin := time.Now()
+	res, st, err := fn(ctx)
 	if err != nil {
 		return nil, false, err
 	}
-	vars.points.Add(int64(points))
+	vars.points.Add(int64(st.points))
+	vars.workloads.Add(int64(st.workloads))
+	if saved := st.points - st.workloads; saved > 0 {
+		vars.passesSaved.Add(int64(saved))
+	}
+	if secs := time.Since(begin).Seconds(); secs > 0 {
+		vars.lastPointsPerSec.Set(float64(st.points) / secs)
+	}
 	s.cache.Add(key, res)
 	return res, false, nil
 }

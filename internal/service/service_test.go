@@ -336,7 +336,8 @@ func TestDebugVars(t *testing.T) {
 	if err := json.Unmarshal(all["memexplored"], &m); err != nil {
 		t.Fatalf("memexplored map: %v", err)
 	}
-	for _, key := range []string{"requests", "cache_hits", "cache_misses", "in_flight_sweeps", "points_evaluated", "latency_ms"} {
+	for _, key := range []string{"requests", "cache_hits", "cache_misses", "in_flight_sweeps", "points_evaluated",
+		"workloads_explored", "trace_passes_saved", "last_sweep_points_per_sec", "latency_ms"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("expvar map missing %s", key)
 		}
@@ -353,6 +354,8 @@ func TestDebugVars(t *testing.T) {
 func TestPointsEvaluatedCounter(t *testing.T) {
 	s := newTestServer(t)
 	points0 := vars.points.Value()
+	workloads0 := vars.workloads.Value()
+	saved0 := vars.passesSaved.Value()
 	// A fresh options shape (distinct from other tests) guarantees a miss.
 	w := postJSON(t, s, "/v1/explore", `{"kernel":"sor","options":{"cache_sizes":[128],"line_sizes":[8],"assocs":[1,2],"tilings":[1]}}`)
 	if w.Code != http.StatusOK {
@@ -361,6 +364,14 @@ func TestPointsEvaluatedCounter(t *testing.T) {
 	resp := decodeExplore(t, w)
 	if got := vars.points.Value() - points0; got != int64(resp.Points) {
 		t.Errorf("points_evaluated delta = %d, want %d", got, resp.Points)
+	}
+	// One tiling, one (L, sets) geometry: both assoc points share a single
+	// workload trace, so the batched engine saved points−1 passes.
+	if got := vars.workloads.Value() - workloads0; got != 1 {
+		t.Errorf("workloads_explored delta = %d, want 1", got)
+	}
+	if got := vars.passesSaved.Value() - saved0; got != int64(resp.Points)-1 {
+		t.Errorf("trace_passes_saved delta = %d, want %d", got, resp.Points-1)
 	}
 }
 

@@ -138,12 +138,16 @@ type ErrInvalidOptions = core.ErrInvalidOptions
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Explore runs the MemExplore sweep (§1 algorithm) for a kernel and
-// returns one Metrics per legal configuration.
+// returns one Metrics per legal configuration. Non-classified sweeps run
+// on the workload-grouped batched engine: each distinct trace is
+// generated once and simulated for all of its cache configurations in a
+// single pass (results are bit-identical to per-point evaluation).
 func Explore(n *Nest, opts Options) ([]Metrics, error) { return core.Explore(n, opts) }
 
 // ExploreContext is Explore with cancellation: the context is checked
-// between config points, and a canceled or expired context yields an
-// error wrapping both ErrCanceled and ctx.Err().
+// between workload groups and every few thousand references inside a
+// batch pass, and a canceled or expired context yields an error wrapping
+// both ErrCanceled and ctx.Err().
 func ExploreContext(ctx context.Context, n *Nest, opts Options) ([]Metrics, error) {
 	return core.ExploreContext(ctx, n, opts)
 }
@@ -265,14 +269,15 @@ type (
 // MinEDP returns the configuration with the lowest energy–delay product.
 func MinEDP(ms []Metrics) (Metrics, bool) { return core.MinEDP(ms) }
 
-// ExploreParallel is Explore with the sweep distributed over worker
-// goroutines; results are identical to Explore.
+// ExploreParallel is Explore with the batched sweep's workload groups
+// distributed over worker goroutines sharing one trace cache; results
+// are identical to Explore.
 func ExploreParallel(n *Nest, opts Options, workers int) ([]Metrics, error) {
 	return core.ExploreParallel(n, opts, workers)
 }
 
 // ExploreParallelContext is ExploreParallel with cancellation checked by
-// every worker between config points.
+// every worker between workload groups (and inside each batch pass).
 func ExploreParallelContext(ctx context.Context, n *Nest, opts Options, workers int) ([]Metrics, error) {
 	return core.ExploreParallelContext(ctx, n, opts, workers)
 }
@@ -281,6 +286,19 @@ func ExploreParallelContext(ctx context.Context, n *Nest, opts Options, workers 
 // configuration with the §2.2/§2.3 models.
 func EvaluateTrace(tr *Trace, cfg CacheConfig, tiling int, p EnergyParams, classify bool) (Metrics, error) {
 	return core.EvaluateTrace(tr, cfg, tiling, p, classify)
+}
+
+// TraceAddBS measures the Gray-coded address-bus switching per access of
+// a trace (the Add_bs input of the §2.3 energy model). It depends only
+// on the trace: measure once, then score many configurations with
+// EvaluateTraceMeasured.
+func TraceAddBS(tr *Trace) float64 { return core.TraceAddBS(tr) }
+
+// EvaluateTraceMeasured is EvaluateTrace with the trace's AddBS supplied
+// by the caller (see TraceAddBS), avoiding a re-scan of the trace per
+// configuration when one trace is scored under many caches.
+func EvaluateTraceMeasured(tr *Trace, addBS float64, cfg CacheConfig, tiling int, p EnergyParams, classify bool) (Metrics, error) {
+	return core.EvaluateTraceMeasured(tr, addBS, cfg, tiling, p, classify)
 }
 
 // WarmTrace composes the kernels into one shared-cache pipeline trace
