@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test short bench bench-sweep bench-guard figs exhibits fuzz cover clean check serve
+.PHONY: all build vet test short bench bench-sweep bench-trace bench-guard figs exhibits fuzz cover clean check serve
 
 all: build vet test
 
@@ -16,9 +16,11 @@ test:
 	$(GO) test ./...
 
 # Tier-1 plus the race-sensitive packages (the service and the
-# context-aware exploration core) under the race detector.
+# context-aware exploration core) under the race detector, plus a short
+# fuzz pass over the external-trace parser.
 check: build vet test
-	$(GO) test -race ./internal/service ./internal/core
+	$(GO) test -race ./internal/service ./internal/core ./internal/extrace
+	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseDin -fuzztime 5s
 
 # Run the memexplored HTTP service (see docs/SERVICE.md).
 serve:
@@ -35,6 +37,11 @@ bench:
 # record the numbers in BENCH_sweep.json.
 bench-sweep:
 	$(GO) test -run '^$$' -bench BenchmarkExploreSweep -benchmem .
+
+# The external-trace ingestion pipeline (din text → streaming sweep);
+# record the numbers in BENCH_trace.json.
+bench-trace:
+	$(GO) test -run '^$$' -bench BenchmarkExploreDinTrace -benchmem .
 
 # CI smoke: one iteration of the sweep benchmark on a vet-clean build —
 # catches engine regressions without paying full benchmark time.
@@ -54,6 +61,7 @@ fuzz:
 	$(GO) test ./internal/loopir -fuzz 'FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/loopir -fuzz FuzzParseExpr -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzReadDin -fuzztime 30s
+	$(GO) test ./internal/extrace -fuzz FuzzParseDin -fuzztime 30s
 
 cover:
 	$(GO) test -cover ./...

@@ -11,6 +11,7 @@
 package memexplore_test
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"memexplore/internal/bus"
 	"memexplore/internal/cachesim"
 	"memexplore/internal/core"
+	"memexplore/internal/extrace"
 	"memexplore/internal/figures"
 	"memexplore/internal/kernels"
 	"memexplore/internal/loopir"
@@ -186,6 +188,55 @@ func BenchmarkExploreSweep(b *testing.B) {
 	b.Run("batched-parallel", func(b *testing.B) {
 		run(b, func() ([]core.Metrics, error) { return core.ExploreParallelContext(ctx, n, opts, 4) })
 	})
+}
+
+// BenchmarkExploreDinTrace measures the external-trace pipeline end to
+// end: a din text stream through ingestion, the Gray-code bus measurement
+// and the full batched (T, L, S) sweep in one pass. SetBytes makes `go
+// test -bench` print MB/s of din text; records/s is the trace-record
+// throughput. The numbers for the record live in BENCH_trace.json;
+// refresh them with `make bench-trace`.
+func BenchmarkExploreDinTrace(b *testing.B) {
+	n := kernels.Compress()
+	tiled, err := loopir.TileAll(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := tiled.Generate(loopir.SequentialLayout(tiled, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var one bytes.Buffer
+	records, err := extrace.WriteDin(&one, tr.Reader())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Repeat the kernel trace to a ~1M-record stream so ingest, not
+	// setup, dominates what is measured.
+	const repeats = 220
+	payload := bytes.Repeat(one.Bytes(), repeats)
+	records *= repeats
+
+	opts := core.DefaultOptions()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st extrace.IngestStats
+	for i := 0; i < b.N; i++ {
+		var ms []core.Metrics
+		ms, st, err = core.ExploreTrace(bytes.NewReader(payload), opts, extrace.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(ms)), "points")
+		}
+	}
+	b.StopTimer()
+	if st.Records != records {
+		b.Fatalf("ingested %d records, want %d", st.Records, records)
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed on a long

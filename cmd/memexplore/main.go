@@ -7,7 +7,12 @@
 //	memexplore -kernel compress
 //	memexplore -kernel sor -em 43.56 -cycle-bound 30000
 //	memexplore -kernel matmul -unoptimized -pareto
+//	memexplore -trace app.din.gz
 //	memexplore -list
+//
+// With -trace the workload is a recorded application trace (din text or
+// mxt binary, optionally gzipped; "-" reads stdin) streamed through the
+// sweep in one constant-memory pass instead of a generated kernel.
 package main
 
 import (
@@ -48,6 +53,9 @@ func main() {
 		writeThru   = flag.Bool("write-through", false, "write-through instead of write-back caches")
 		csvPath     = flag.String("csv", "", "write the full sweep as CSV to this file ('-' for stdout)")
 		jsonPath    = flag.String("json", "", "write the full sweep as JSON to this file ('-' for stdout)")
+		tracePath   = flag.String("trace", "", "sweep a recorded trace file (din or mxt binary, .gz ok; '-' for stdin) instead of a kernel")
+		skipBad     = flag.Bool("skip-malformed", false, "with -trace, skip malformed records instead of failing")
+		maxRecords  = flag.Int64("max-records", 0, "with -trace, fail after this many records (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -73,6 +81,16 @@ func main() {
 
 	if *program != "" {
 		if err := runProgram(*program, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *tracePath != "" {
+		ing := memexplore.TraceIngestOptions{MaxRecords: *maxRecords, SkipMalformed: *skipBad}
+		err := runTrace(*tracePath, opts, ing, *csvPath, *jsonPath,
+			reportOpts{top: *top, cycleBound: *cycleBound, energyBound: *energyBound, pareto: *pareto})
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -123,10 +141,27 @@ func main() {
 		}
 	}
 
+	if err := reportSweep(ms, reportOpts{top: *top, cycleBound: *cycleBound, energyBound: *energyBound, pareto: *pareto}); err != nil {
+		fatal(err)
+	}
+}
+
+// reportOpts selects what the sweep report prints.
+type reportOpts struct {
+	top         int
+	cycleBound  float64
+	energyBound float64
+	pareto      bool
+}
+
+// reportSweep prints the top-N energy table, the optima and the optional
+// bounded selections and Pareto frontier — shared by the kernel and
+// trace modes.
+func reportSweep(ms []memexplore.Metrics, ro reportOpts) error {
 	byEnergy := append([]memexplore.Metrics(nil), ms...)
 	sort.SliceStable(byEnergy, func(i, j int) bool { return byEnergy[i].EnergyNJ < byEnergy[j].EnergyNJ })
-	if *top > 0 && len(byEnergy) > *top {
-		byEnergy = byEnergy[:*top]
+	if ro.top > 0 && len(byEnergy) > ro.top {
+		byEnergy = byEnergy[:ro.top]
 	}
 	tbl := report.New(fmt.Sprintf("lowest-energy configurations (%d of %d evaluated)", len(byEnergy), len(ms)),
 		"config", "missrate", "cycles", "energy(nJ)")
@@ -134,7 +169,7 @@ func main() {
 		tbl.MustAdd(m.Label(), report.F(m.MissRate), report.F(m.Cycles), report.F(m.EnergyNJ))
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println()
 
@@ -147,32 +182,68 @@ func main() {
 	if m, ok := memexplore.MinEDP(ms); ok {
 		fmt.Printf("minimum EDP:    %s  (%.3g nJ·cycles)\n", m.Label(), m.EDP())
 	}
-	if *cycleBound > 0 {
-		if m, ok := memexplore.MinEnergyUnderCycleBound(ms, *cycleBound); ok {
+	if ro.cycleBound > 0 {
+		if m, ok := memexplore.MinEnergyUnderCycleBound(ms, ro.cycleBound); ok {
 			fmt.Printf("min energy under %.0f cycles: %s (%.0f nJ, %.0f cycles)\n",
-				*cycleBound, m.Label(), m.EnergyNJ, m.Cycles)
+				ro.cycleBound, m.Label(), m.EnergyNJ, m.Cycles)
 		} else {
-			fmt.Printf("no configuration meets the cycle bound %.0f\n", *cycleBound)
+			fmt.Printf("no configuration meets the cycle bound %.0f\n", ro.cycleBound)
 		}
 	}
-	if *energyBound > 0 {
-		if m, ok := memexplore.MinCyclesUnderEnergyBound(ms, *energyBound); ok {
+	if ro.energyBound > 0 {
+		if m, ok := memexplore.MinCyclesUnderEnergyBound(ms, ro.energyBound); ok {
 			fmt.Printf("min cycles under %.0f nJ: %s (%.0f cycles, %.0f nJ)\n",
-				*energyBound, m.Label(), m.Cycles, m.EnergyNJ)
+				ro.energyBound, m.Label(), m.Cycles, m.EnergyNJ)
 		} else {
-			fmt.Printf("no configuration meets the energy bound %.0f nJ\n", *energyBound)
+			fmt.Printf("no configuration meets the energy bound %.0f nJ\n", ro.energyBound)
 		}
 	}
-	if *pareto {
+	if ro.pareto {
 		fmt.Println()
 		ptbl := report.New("cycles/energy Pareto frontier", "config", "cycles", "energy(nJ)")
 		for _, m := range memexplore.ParetoFrontier(ms) {
 			ptbl.MustAdd(m.Label(), report.F(m.Cycles), report.F(m.EnergyNJ))
 		}
 		if err := ptbl.Render(os.Stdout); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
+}
+
+// runTrace streams a recorded trace file through the sweep and reports
+// the ingest profile alongside the usual sweep summary.
+func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOptions,
+	csvPath, jsonPath string, ro reportOpts) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	ms, st, err := memexplore.ExploreTrace(in, opts, ing)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %s\n\n", path, st)
+
+	if csvPath != "" {
+		if err := writeCSV(csvPath, ms); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, ms); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" || jsonPath != "" {
+		return nil
+	}
+	return reportSweep(ms, ro)
 }
 
 func mustParseInts(list string) []int {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	memexplored [-addr :8080] [-sweeps 4] [-workers 0] [-cache 128] [-drain 30s]
+//	memexplored [-addr :8080] [-sweeps 4] [-workers 0] [-cache 128] [-max-body 8388608] [-drain 30s]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new sweeps are rejected
 // with 503 while in-flight sweeps drain for up to -drain.
@@ -48,6 +48,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	sweeps := fs.Int("sweeps", 4, "max concurrent sweeps (worker pool size)")
 	workers := fs.Int("workers", 0, "goroutines per sweep (0 = GOMAXPROCS)")
 	cacheN := fs.Int("cache", 128, "result-cache capacity in entries (negative disables)")
+	maxBody := fs.Int64("max-body", 0, "request-body size limit in bytes (0 = 8 MiB default)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +57,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		MaxConcurrentSweeps: *sweeps,
 		SweepWorkers:        *workers,
 		CacheEntries:        *cacheN,
+		MaxBodyBytes:        *maxBody,
 	}
 	return serve(ctx, *addr, cfg, *drain, logw, ready)
 }

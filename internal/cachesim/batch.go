@@ -119,6 +119,18 @@ func (b *Batch) RunTraceContext(ctx context.Context, tr *trace.Trace, observe fu
 	return b.Stats(), nil
 }
 
+// AccessBlock feeds a block of references to every cache, letting each
+// cache consume the whole block before the next runs (the cache-resident
+// traversal of RunTraceContext). It is the chunk-granular entry point for
+// streaming callers — e.g. the external-trace sweep, which reads a trace
+// once in fixed-size chunks and fans each chunk out to the batch —
+// producing statistics identical to per-reference Access in any chunking.
+func (b *Batch) AccessBlock(block []trace.Ref) {
+	for _, c := range b.caches {
+		c.AccessBlock(block)
+	}
+}
+
 // Stats returns the per-configuration statistics in input order.
 func (b *Batch) Stats() []Stats {
 	out := make([]Stats, len(b.caches))

@@ -36,6 +36,41 @@ func TestBatchMatchesIndividual(t *testing.T) {
 	}
 }
 
+// TestBatchAccessBlockChunkInvariant checks that feeding a trace through
+// AccessBlock in arbitrary chunk sizes produces the same statistics as
+// one whole-trace pass — the property the streaming external-trace sweep
+// depends on.
+func TestBatchAccessBlockChunkInvariant(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(32, 4, 1),
+		DefaultConfig(64, 8, 2),
+		DefaultConfig(256, 16, 4),
+	}
+	tr := trace.Concat(
+		trace.Loop(0, 512, 4, 3),
+		trace.PingPong(0, 1024, 200),
+	)
+	whole, err := RunBatch(cfgs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 64, 1000, tr.Len() + 1} {
+		b, err := NewBatch(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := tr.Refs()
+		for start := 0; start < len(refs); start += chunk {
+			b.AccessBlock(refs[start:min(start+chunk, len(refs))])
+		}
+		for i, st := range b.Stats() {
+			if st != whole[i] {
+				t.Errorf("chunk %d config %d: %+v != whole-trace %+v", chunk, i, st, whole[i])
+			}
+		}
+	}
+}
+
 func TestBatchErrors(t *testing.T) {
 	if _, err := NewBatch(nil); err == nil {
 		t.Error("empty batch should fail")

@@ -20,6 +20,10 @@ func canceled(cause error) error {
 // isCanceled reports whether err stems from context cancellation.
 func isCanceled(err error) bool { return errors.Is(err, ErrCanceled) }
 
+// ErrEmptyTrace reports that an external trace stream ended without a
+// single accepted record: there is nothing to sweep.
+var ErrEmptyTrace = errors.New("core: trace contains no records")
+
 // ErrInvalidOptions reports a structurally invalid Options value. Field
 // names the offending wire field (the JSON tag, e.g. "line_sizes");
 // Reason says what is wrong with it. Retrieve it with errors.As:

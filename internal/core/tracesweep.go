@@ -1,0 +1,126 @@
+package core
+
+// This file implements the external-trace sweep: the batched engine of
+// batch.go driven not by a generated kernel trace but by an arbitrary
+// application trace streamed through internal/extrace. The whole (T, L, S)
+// space is evaluated in ONE sequential pass over the stream in constant
+// memory — the trace is never materialized — with the Gray-code bus
+// measurement fused into the same pass, exactly as the kernel engine
+// fuses it into trace generation.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"memexplore/internal/bus"
+	"memexplore/internal/cachesim"
+	"memexplore/internal/extrace"
+	"memexplore/internal/trace"
+)
+
+// traceChunkRefs is the streaming chunk size: the reader fills a chunk,
+// the bus counter and every cache of the batch consume it, and the
+// context is checked before the next chunk. It matches the batch
+// engine's cancellation granularity.
+const traceChunkRefs = cachesim.CancelCheckInterval
+
+// traceSpace restricts sweep options to what an external trace can vary.
+// Tiling and the §4.1 layout are code/data transformations applied while
+// generating a trace; an already-recorded trace has them baked in, so the
+// sweep space is (T, L, S) with B pinned to 1 and layout optimization
+// off. 3C classification is rejected: it needs per-point shadow caches,
+// which would break the single-pass constant-memory contract.
+func traceSpace(opts Options) (Options, error) {
+	if opts.Classify {
+		return Options{}, invalidOptions("classify", "3C classification is not supported for external-trace sweeps")
+	}
+	opts.Tilings = []int{1}
+	opts.OptimizeLayout = false
+	if err := opts.Validate(); err != nil {
+		return Options{}, err
+	}
+	return opts, nil
+}
+
+// ExploreTraceReader runs the MemExplore sweep over an external
+// application trace streamed from r — textual din or mxt binary format,
+// transparently gzip-decompressed (see internal/extrace) — and returns
+// one Metrics per legal (T, L, S) configuration in deterministic Space()
+// order, together with the ingest-time statistics accumulated during the
+// same pass. ing bounds and shapes the ingestion (record limits,
+// malformed-record policy).
+//
+// The trace is read exactly once, in fixed-size chunks: every cache
+// configuration of the sweep and the Gray-code address-bus measurement
+// consume each chunk before the next is read, so memory use is constant
+// in the trace length and a multi-gigabyte trace sweeps in one pass. The
+// context is checked at every chunk boundary; cancellation returns an
+// error wrapping ErrCanceled. Malformed input surfaces as
+// *extrace.ParseError (with line number and byte offset) unless
+// ing.SkipMalformed is set, and a stream with no records fails with
+// ErrEmptyTrace. The IngestStats snapshot is valid even when an error is
+// returned — it reports whatever was ingested up to the failure.
+func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extrace.Options) ([]Metrics, extrace.IngestStats, error) {
+	opts, err := traceSpace(opts)
+	if err != nil {
+		return nil, extrace.IngestStats{}, err
+	}
+	points := opts.Space()
+	if len(points) == 0 {
+		return nil, extrace.IngestStats{}, invalidOptions("cache_sizes", "the options admit no legal (T, L, S) configuration")
+	}
+	cfgs := make([]cachesim.Config, len(points))
+	for i, p := range points {
+		cfgs[i] = opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc)
+	}
+	batch, err := cachesim.NewBatch(cfgs)
+	if err != nil {
+		return nil, extrace.IngestStats{}, fmt.Errorf("core: building trace-sweep batch: %w", err)
+	}
+
+	rd := extrace.NewReader(r, ing)
+	defer rd.Close()
+	ctr := bus.NewSwitchCounter(bus.Gray)
+	chunk := make([]trace.Ref, traceChunkRefs)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, rd.Stats(), canceled(err)
+		}
+		n, rerr := rd.Read(chunk)
+		if n > 0 {
+			block := chunk[:n]
+			for _, ref := range block {
+				ctr.Drive(ref.Addr)
+			}
+			batch.AccessBlock(block)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return nil, rd.Stats(), fmt.Errorf("core: ingesting trace: %w", rerr)
+		}
+	}
+	st := rd.Stats()
+	if st.Records == 0 {
+		return nil, st, ErrEmptyTrace
+	}
+
+	addBS := ctr.PerDrive()
+	stats := batch.Stats()
+	out := make([]Metrics, len(points))
+	for i, p := range points {
+		m, err := scoreStats(cfgs[i], p.Tiling, opts.Energy, stats[i], addBS)
+		if err != nil {
+			return nil, st, fmt.Errorf("core: evaluating trace sweep %v: %w", p, err)
+		}
+		out[i] = m
+	}
+	return out, st, nil
+}
+
+// ExploreTrace is ExploreTraceReader with a background context.
+func ExploreTrace(r io.Reader, opts Options, ing extrace.Options) ([]Metrics, extrace.IngestStats, error) {
+	return ExploreTraceReader(context.Background(), r, opts, ing)
+}

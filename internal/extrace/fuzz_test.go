@@ -1,0 +1,95 @@
+package extrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"memexplore/internal/trace"
+)
+
+// FuzzParseDin feeds arbitrary bytes through the streaming reader (which
+// may route them to the din, binary or gzip path depending on magic) and
+// checks the structural invariants: no panics, textual parse errors carry
+// a positive line number, binary ones a record offset, accepted records
+// agree with the stats counters, and accepted din input round-trips
+// through WriteDin.
+func FuzzParseDin(f *testing.F) {
+	f.Add([]byte("0 10\n1 ff 4\n2 deadbeef\n"))
+	f.Add([]byte("# comment\r\n\r\n0 0x1f\n"))
+	f.Add([]byte("bogus line\n0 10\n"))
+	f.Add([]byte("9 9\n"))
+	f.Add([]byte(binaryMagic + "\x03\x00\x04\x10"))
+	f.Add([]byte(binaryMagic + "\x0b\x00\x00"))
+	f.Add([]byte("\x1f\x8bnot gzip"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		r := NewReader(bytes.NewReader(src), Options{MaxRecords: 1 << 16})
+		var refs []trace.Ref
+		buf := make([]trace.Ref, 7)
+		var finalErr error
+		for {
+			n, err := r.Read(buf)
+			refs = append(refs, buf[:n]...)
+			if err != nil {
+				if err != io.EOF {
+					finalErr = err
+				}
+				break
+			}
+		}
+		var perr *ParseError
+		if errors.As(finalErr, &perr) {
+			switch perr.Format {
+			case "din":
+				if perr.Line <= 0 {
+					t.Fatalf("din parse error without a line number: %+v", perr)
+				}
+			case "binary":
+				if perr.Line != 0 || perr.Offset < int64(len(binaryMagic)) {
+					t.Fatalf("binary parse error position: %+v", perr)
+				}
+			default:
+				t.Fatalf("parse error with unknown format: %+v", perr)
+			}
+		}
+		st := r.Stats()
+		if st.Records != int64(len(refs)) {
+			t.Fatalf("stats count %d records, reader yielded %d", st.Records, len(refs))
+		}
+		if st.Reads+st.Writes+st.Fetches != st.Records {
+			t.Fatalf("kind mix %d+%d+%d does not partition %d records",
+				st.Reads, st.Writes, st.Fetches, st.Records)
+		}
+		if finalErr != nil || len(refs) == 0 || st.Format != "din" {
+			return
+		}
+		// Fully accepted din input must round-trip through WriteDin.
+		var out bytes.Buffer
+		if _, err := WriteDin(&out, trace.FromRefs(refs).Reader()); err != nil {
+			t.Fatalf("WriteDin after successful parse: %v", err)
+		}
+		r2 := NewReader(&out, Options{})
+		again := make([]trace.Ref, 0, len(refs))
+		for {
+			n, err := r2.Read(buf)
+			again = append(again, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("re-reading our own din output: %v", err)
+			}
+		}
+		if len(again) != len(refs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(refs), len(again))
+		}
+		for i := range refs {
+			if again[i].Addr != refs[i].Addr || again[i].Kind != refs[i].Kind ||
+				again[i].EffectiveSize() != refs[i].EffectiveSize() {
+				t.Fatalf("round trip changed record %d: %+v -> %+v", i, refs[i], again[i])
+			}
+		}
+	})
+}

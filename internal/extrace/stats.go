@@ -1,0 +1,207 @@
+package extrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memexplore/internal/trace"
+)
+
+// IngestStats summarizes everything a Reader observed, accumulated in the
+// same pass that feeds the simulator — no second scan. The JSON tags are
+// the wire form served by POST /v1/explore-trace; they are stable API.
+type IngestStats struct {
+	// Format is the detected trace format: "din", "binary", or "" when
+	// nothing was read yet.
+	Format string `json:"format"`
+	// Gzip reports whether the stream was gzip-compressed.
+	Gzip bool `json:"gzip"`
+	// Records is the number of accepted references.
+	Records int64 `json:"records"`
+	// Rejects counts malformed records skipped under Options.SkipMalformed.
+	Rejects int64 `json:"rejects"`
+	// BytesRead counts the wire bytes consumed from the underlying reader
+	// (compressed bytes for gzip input).
+	BytesRead int64 `json:"bytes_read"`
+
+	// Reads, Writes, Fetches partition the accepted records by kind.
+	Reads   int64 `json:"reads"`
+	Writes  int64 `json:"writes"`
+	Fetches int64 `json:"fetches"`
+
+	// MinAddr and MaxAddr bound the touched byte addresses (valid when
+	// Records > 0).
+	MinAddr uint64 `json:"min_addr"`
+	MaxAddr uint64 `json:"max_addr"`
+
+	// FootprintLines counts the distinct LineGranule-byte granules
+	// touched; FootprintBytes is that count scaled to bytes — an upper
+	// bound on (and for dense traces a good estimate of) the data
+	// footprint. The count saturates at a fixed cap so ingest memory is
+	// bounded by the trace's footprint, never by its length.
+	FootprintLines     int  `json:"footprint_lines"`
+	FootprintBytes     int  `json:"footprint_bytes"`
+	LineGranule        int  `json:"line_granule"`
+	FootprintSaturated bool `json:"footprint_saturated,omitempty"`
+
+	// Strides is the histogram of signed address deltas between
+	// consecutive records, capped to the most common entries; the rest
+	// aggregate under StrideOther. SequentialFrac is the fraction of
+	// consecutive pairs with |delta| ≤ 8 bytes.
+	Strides        map[int64]int64 `json:"strides,omitempty"`
+	StrideOther    int64           `json:"stride_other,omitempty"`
+	SequentialFrac float64         `json:"sequential_frac"`
+}
+
+// String renders a compact multi-line ingest report.
+func (s IngestStats) String() string {
+	var sb strings.Builder
+	format := s.Format
+	if format == "" {
+		format = "unknown"
+	}
+	if s.Gzip {
+		format += "+gzip"
+	}
+	fmt.Fprintf(&sb, "format          %s (%d wire bytes)\n", format, s.BytesRead)
+	fmt.Fprintf(&sb, "records         %d (reads %d, writes %d, fetches %d, rejects %d)\n",
+		s.Records, s.Reads, s.Writes, s.Fetches, s.Rejects)
+	fmt.Fprintf(&sb, "address range   [%#x, %#x]\n", s.MinAddr, s.MaxAddr)
+	sat := ""
+	if s.FootprintSaturated {
+		sat = " (saturated)"
+	}
+	fmt.Fprintf(&sb, "footprint       ~%d bytes (%d × %d-byte lines)%s\n",
+		s.FootprintBytes, s.FootprintLines, s.LineGranule, sat)
+	fmt.Fprintf(&sb, "sequential frac %.3f (|stride| ≤ 8)\n", s.SequentialFrac)
+	if len(s.Strides) > 0 {
+		sb.WriteString("top strides:\n")
+		for _, st := range s.TopStrides() {
+			fmt.Fprintf(&sb, "  %+6d : %d\n", st, s.Strides[st])
+		}
+		if s.StrideOther > 0 {
+			fmt.Fprintf(&sb, "  other  : %d\n", s.StrideOther)
+		}
+	}
+	return sb.String()
+}
+
+// TopStrides returns the retained strides ordered by descending count
+// (ties by ascending stride).
+func (s IngestStats) TopStrides() []int64 {
+	out := make([]int64, 0, len(s.Strides))
+	for st := range s.Strides {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if s.Strides[out[i]] != s.Strides[out[j]] {
+			return s.Strides[out[i]] > s.Strides[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// accumulator is the constant-memory running state behind IngestStats.
+type accumulator struct {
+	st IngestStats
+
+	prevAddr   uint64
+	prevSet    bool
+	sequential int64
+
+	granules map[uint64]struct{}
+	strides  map[int64]int64
+	overflow int64 // strides beyond maxStrideEntries
+}
+
+func newAccumulator() *accumulator {
+	return &accumulator{
+		granules: make(map[uint64]struct{}),
+		strides:  make(map[int64]int64),
+	}
+}
+
+// note records one accepted reference.
+func (a *accumulator) note(r trace.Ref) {
+	a.st.Records++
+	switch r.Kind {
+	case trace.Read:
+		a.st.Reads++
+	case trace.Write:
+		a.st.Writes++
+	case trace.Fetch:
+		a.st.Fetches++
+	}
+	last := r.LastByte()
+	if a.st.Records == 1 {
+		a.st.MinAddr, a.st.MaxAddr = r.Addr, last
+	} else {
+		if r.Addr < a.st.MinAddr {
+			a.st.MinAddr = r.Addr
+		}
+		if last > a.st.MaxAddr {
+			a.st.MaxAddr = last
+		}
+	}
+	for g := r.Addr / LineGranule; g <= last/LineGranule; g++ {
+		if _, ok := a.granules[g]; ok {
+			continue
+		}
+		if len(a.granules) >= maxFootprintGranules {
+			a.st.FootprintSaturated = true
+			break
+		}
+		a.granules[g] = struct{}{}
+	}
+	if a.prevSet {
+		delta := int64(r.Addr) - int64(a.prevAddr)
+		if delta >= -8 && delta <= 8 {
+			a.sequential++
+		}
+		if _, ok := a.strides[delta]; ok || len(a.strides) < maxStrideEntries {
+			a.strides[delta]++
+		} else {
+			a.overflow++
+		}
+	}
+	a.prevAddr = r.Addr
+	a.prevSet = true
+}
+
+// snapshot folds the running state into a reportable IngestStats.
+func (a *accumulator) snapshot() IngestStats {
+	st := a.st
+	st.LineGranule = LineGranule
+	st.FootprintLines = len(a.granules)
+	st.FootprintBytes = st.FootprintLines * LineGranule
+	if st.Records > 1 {
+		st.SequentialFrac = float64(a.sequential) / float64(st.Records-1)
+	}
+	// Keep the most frequent strides; fold the tail into StrideOther.
+	type sc struct {
+		stride int64
+		count  int64
+	}
+	all := make([]sc, 0, len(a.strides))
+	for s, c := range a.strides {
+		all = append(all, sc{s, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].stride < all[j].stride
+	})
+	st.Strides = make(map[int64]int64, reportedStrides)
+	st.StrideOther = a.overflow
+	for i, e := range all {
+		if i < reportedStrides {
+			st.Strides[e.stride] = e.count
+		} else {
+			st.StrideOther += e.count
+		}
+	}
+	return st
+}

@@ -1,0 +1,46 @@
+package extrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"memexplore/internal/trace"
+)
+
+// WriteDin streams src to w in the textual din format — one
+// "<label> <hexaddr>" line per record, with a third decimal size field
+// for accesses wider than one byte — and returns the record count. The
+// output parses back through a Reader (and, size field aside, through
+// any Dinero-style consumer).
+func WriteDin(w io.Writer, src trace.Source) (int64, error) {
+	bw := bufio.NewWriterSize(w, 64*1024)
+	var written int64
+	var line []byte
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return written, fmt.Errorf("extrace: reading source after %d records: %w", written, err)
+		}
+		line = line[:0]
+		line = append(line, byte('0'+r.Kind.DinLabel()), ' ')
+		line = strconv.AppendUint(line, r.Addr, 16)
+		if r.EffectiveSize() != 1 {
+			line = append(line, ' ')
+			line = strconv.AppendUint(line, uint64(r.EffectiveSize()), 10)
+		}
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return written, fmt.Errorf("extrace: writing din record %d: %w", written, err)
+		}
+		written++
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("extrace: flushing din output: %w", err)
+	}
+	return written, nil
+}

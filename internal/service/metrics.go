@@ -19,7 +19,13 @@ type counters struct {
 	passesSaved expvar.Int // trace passes avoided by workload batching (points − workloads)
 	canceled    expvar.Int // requests abandoned by the client mid-sweep
 	failed      expvar.Int // requests rejected or errored
-	latency     latencyHist
+	// External-trace ingestion totals (/v1/explore-trace), accumulated
+	// from the per-request IngestStats — including failed requests, which
+	// report whatever was ingested before the error.
+	traceBytesRead expvar.Int // wire bytes read from trace bodies
+	traceRecords   expvar.Int // trace records accepted into sweeps
+	traceRejects   expvar.Int // malformed records skipped (skip mode)
+	latency        latencyHist
 	// lastPointsPerSec is the throughput of the most recently completed
 	// (uncached) sweep — a gauge, not a cumulative counter.
 	lastPointsPerSec expvar.Float
@@ -37,6 +43,9 @@ var vars = func() *counters {
 	m.Set("trace_passes_saved", &c.passesSaved)
 	m.Set("canceled", &c.canceled)
 	m.Set("failed", &c.failed)
+	m.Set("trace_bytes_read", &c.traceBytesRead)
+	m.Set("trace_records", &c.traceRecords)
+	m.Set("trace_rejects", &c.traceRejects)
 	m.Set("latency_ms", &c.latency)
 	m.Set("last_sweep_points_per_sec", &c.lastPointsPerSec)
 	return c

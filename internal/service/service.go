@@ -1,11 +1,12 @@
 // Package service implements memexplored, the HTTP/JSON daemon that
 // serves MemExplore sweeps as an API (stdlib only). Endpoints:
 //
-//	POST /v1/explore    run (or recall) a sweep for one kernel
-//	POST /v1/aggregate  §5 trip-count-weighted multi-kernel aggregation
-//	GET  /v1/kernels    registered kernel names
-//	GET  /healthz       liveness (503 while draining)
-//	GET  /debug/vars    expvar counters (see metrics.go)
+//	POST /v1/explore        run (or recall) a sweep for one kernel
+//	POST /v1/explore-trace  stream an external trace through the sweep
+//	POST /v1/aggregate      §5 trip-count-weighted multi-kernel aggregation
+//	GET  /v1/kernels        registered kernel names
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /debug/vars        expvar counters (see metrics.go)
 //
 // Sweeps run on a bounded worker pool via core.ExploreParallelContext
 // with the request context threaded through, so client disconnects and
@@ -90,6 +91,7 @@ func New(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxConcurrentSweeps),
 	}
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/explore-trace", s.handleExploreTrace)
 	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -1,0 +1,181 @@
+package service
+
+// POST /v1/explore-trace: the external-trace sweep. Unlike the JSON
+// endpoints the request body IS the trace — textual din or mxt binary,
+// gzip transparently detected — streamed straight into the single-pass
+// batched sweep without ever being materialized, so the body-size limit
+// (not memory) bounds the trace. Sweep options ride in the query string.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"memexplore/internal/core"
+	"memexplore/internal/extrace"
+)
+
+// TraceExploreResponse is the POST /v1/explore-trace reply: one Metrics
+// per (T, L, S) configuration plus the ingest-time profile of the trace.
+type TraceExploreResponse struct {
+	Points  int                 `json:"points"`
+	Metrics []core.Metrics      `json:"metrics"`
+	Best    Best                `json:"best"`
+	Ingest  extrace.IngestStats `json:"ingest"`
+}
+
+// traceQuery is the decoded query string of an explore-trace request.
+type traceQuery struct {
+	opts          core.Options
+	ing           extrace.Options
+	cycleBound    float64
+	energyBoundNJ float64
+}
+
+// parseTraceQuery decodes the query parameters strictly: unknown keys and
+// malformed values are errors, mirroring decodeBody's unknown-field
+// policy. Recognized keys: sizes, lines, assocs (comma-separated ints),
+// em (main-memory nJ/access), max_records, skip_malformed,
+// cycle_bound, energy_bound_nj.
+func parseTraceQuery(q url.Values) (traceQuery, error) {
+	tq := traceQuery{opts: core.DefaultOptions()}
+	for key, vals := range q {
+		if len(vals) != 1 {
+			return tq, &core.ErrInvalidOptions{Field: key, Reason: "parameter repeated"}
+		}
+		v := vals[0]
+		var err error
+		switch key {
+		case "sizes":
+			tq.opts.CacheSizes, err = parseIntList(v)
+		case "lines":
+			tq.opts.LineSizes, err = parseIntList(v)
+		case "assocs":
+			tq.opts.Assocs, err = parseIntList(v)
+		case "em":
+			var em float64
+			if em, err = strconv.ParseFloat(v, 64); err == nil {
+				tq.opts.Energy.Main.EmNJ = em
+				tq.opts.Energy.Main.Name = "custom (em=" + v + " nJ)"
+			}
+		case "max_records":
+			tq.ing.MaxRecords, err = strconv.ParseInt(v, 10, 64)
+		case "skip_malformed":
+			tq.ing.SkipMalformed, err = strconv.ParseBool(v)
+		case "cycle_bound":
+			tq.cycleBound, err = strconv.ParseFloat(v, 64)
+		case "energy_bound_nj":
+			tq.energyBoundNJ, err = strconv.ParseFloat(v, 64)
+		default:
+			return tq, &core.ErrInvalidOptions{Field: key, Reason: "unknown query parameter"}
+		}
+		if err != nil {
+			return tq, &core.ErrInvalidOptions{Field: key, Reason: "bad value " + strconv.Quote(v)}
+		}
+	}
+	tq.opts = tq.opts.Normalize()
+	return tq, nil
+}
+
+// parseIntList parses "16,32,64".
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func (s *Server) handleExploreTrace(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	vars.requests.Add(1)
+	defer func() { vars.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+
+	if s.rejectDraining(w) {
+		return
+	}
+	tq, err := parseTraceQuery(r.URL.Query())
+	if err != nil {
+		var inv *core.ErrInvalidOptions
+		errors.As(err, &inv)
+		s.fail(w, http.StatusBadRequest, "invalid_options", inv.Reason, inv.Field)
+		return
+	}
+
+	// Trace sweeps use the worker pool like every sweep, but skip the
+	// result cache: the trace streams through once and is never held, so
+	// there is nothing content-addressable to key on.
+	ms, st, err := s.traceSweep(r.Context(), r.Body, tq)
+	vars.traceBytesRead.Add(st.BytesRead)
+	vars.traceRecords.Add(st.Records)
+	vars.traceRejects.Add(st.Rejects)
+	if err != nil {
+		s.failTraceSweep(w, err)
+		return
+	}
+	vars.points.Add(int64(len(ms)))
+	vars.workloads.Add(1) // one pass over one external trace
+	if saved := len(ms) - 1; saved > 0 {
+		vars.passesSaved.Add(int64(saved))
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		vars.lastPointsPerSec.Set(float64(len(ms)) / secs)
+	}
+	writeJSON(w, http.StatusOK, TraceExploreResponse{
+		Points:  len(ms),
+		Metrics: ms,
+		Best:    bestOf(ms, tq.cycleBound, tq.energyBoundNJ),
+		Ingest:  st,
+	})
+}
+
+// traceSweep runs the streaming sweep under a worker-pool slot with the
+// drain bookkeeping of sweep(); the body is consumed inside the slot.
+func (s *Server) traceSweep(ctx context.Context, body io.Reader, tq traceQuery) ([]core.Metrics, extrace.IngestStats, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, extrace.IngestStats{}, fmt.Errorf("%w: %w", core.ErrCanceled, ctx.Err())
+	}
+	defer func() { <-s.sem }()
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	vars.inFlight.Add(1)
+	defer vars.inFlight.Add(-1)
+
+	return core.ExploreTraceReader(ctx, body, tq.opts, tq.ing)
+}
+
+// failTraceSweep maps a trace-sweep error to its transport status:
+// oversized bodies are 413, malformed traces and ingest-limit violations
+// are 400 with the parse location in the message, cancellation is 499.
+func (s *Server) failTraceSweep(w http.ResponseWriter, err error) {
+	var (
+		tooBig *http.MaxBytesError
+		perr   *extrace.ParseError
+	)
+	switch {
+	case errors.As(err, &tooBig):
+		s.fail(w, http.StatusRequestEntityTooLarge, "body_too_large", err.Error(), "")
+	case errors.As(err, &perr):
+		s.fail(w, http.StatusBadRequest, "invalid_trace", perr.Error(), "")
+	case errors.Is(err, extrace.ErrRecordLimit):
+		s.fail(w, http.StatusBadRequest, "record_limit", err.Error(), "")
+	case errors.Is(err, core.ErrEmptyTrace):
+		s.fail(w, http.StatusBadRequest, "empty_trace", err.Error(), "")
+	default:
+		s.failSweep(w, err)
+	}
+}

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"memexplore/internal/extrace"
+	"memexplore/internal/kernels"
+	"memexplore/internal/loopir"
+)
+
+// traceQueryString is the fast sweep space for the trace tests.
+const traceQueryString = "sizes=32,64&lines=4,8&assocs=1"
+
+// kernelDin renders a paper kernel's trace in the din text format.
+func kernelDin(t *testing.T) []byte {
+	t.Helper()
+	n := kernels.MatAdd()
+	tiled, err := loopir.TileAll(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tiled.Generate(loopir.SequentialLayout(tiled, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := extrace.WriteDin(&buf, tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postTrace(t *testing.T, s *Server, query string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	path := "/v1/explore-trace"
+	if query != "" {
+		path += "?" + query
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func decodeTrace(t *testing.T, w *httptest.ResponseRecorder) TraceExploreResponse {
+	t.Helper()
+	var resp TraceExploreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return resp
+}
+
+func TestExploreTraceHappyPath(t *testing.T) {
+	s := newTestServer(t)
+	din := kernelDin(t)
+	w := postTrace(t, s, traceQueryString, din)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeTrace(t, w)
+	// sizes{32,64} × lines{4,8} × assocs{1} = 4 legal points.
+	if resp.Points != 4 || len(resp.Metrics) != 4 {
+		t.Fatalf("points = %d (metrics %d), want 4", resp.Points, len(resp.Metrics))
+	}
+	if resp.Ingest.Records == 0 || resp.Ingest.Format != "din" || resp.Ingest.BytesRead != int64(len(din)) {
+		t.Errorf("ingest stats = %+v", resp.Ingest)
+	}
+	if resp.Best.MinEnergy == nil {
+		t.Error("missing min-energy selection")
+	}
+	if m := resp.Metrics[0]; int64(m.Accesses) != resp.Ingest.Records || m.EnergyNJ <= 0 {
+		t.Errorf("implausible metrics row: %+v", m)
+	}
+	// Every point reports the baked-in tiling, not a swept one.
+	for _, m := range resp.Metrics {
+		if m.Tiling != 1 {
+			t.Fatalf("trace sweep swept tiling %d", m.Tiling)
+		}
+	}
+}
+
+func TestExploreTraceGzipBody(t *testing.T) {
+	s := newTestServer(t)
+	din := kernelDin(t)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(din); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w := postTrace(t, s, traceQueryString, gz.Bytes())
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeTrace(t, w)
+	if !resp.Ingest.Gzip || resp.Ingest.BytesRead != int64(gz.Len()) {
+		t.Errorf("ingest stats = %+v, want gzip with %d wire bytes", resp.Ingest, gz.Len())
+	}
+
+	// The compressed and plain bodies must sweep identically.
+	plain := decodeTrace(t, postTrace(t, s, traceQueryString, din))
+	for i := range plain.Metrics {
+		if plain.Metrics[i] != resp.Metrics[i] {
+			t.Fatalf("point %d differs between plain and gzip bodies", i)
+		}
+	}
+}
+
+func TestExploreTraceMalformedBody(t *testing.T) {
+	s := newTestServer(t)
+	w := postTrace(t, s, traceQueryString, []byte("0 10\n1 20\nnot a record\n"))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	e := decodeError(t, w)
+	if e.Code != "invalid_trace" || !strings.Contains(e.Message, "line 3") {
+		t.Errorf("error = %+v, want invalid_trace naming line 3", e)
+	}
+}
+
+func TestExploreTraceSkipMalformed(t *testing.T) {
+	s := newTestServer(t)
+	w := postTrace(t, s, traceQueryString+"&skip_malformed=true", []byte("0 10\nbogus\n1 20\n"))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeTrace(t, w)
+	if resp.Ingest.Records != 2 || resp.Ingest.Rejects != 1 {
+		t.Errorf("ingest = %+v, want 2 records / 1 reject", resp.Ingest)
+	}
+}
+
+func TestExploreTraceBodyTooLarge(t *testing.T) {
+	s := New(Config{MaxBodyBytes: 64})
+	w := postTrace(t, s, traceQueryString, bytes.Repeat([]byte("0 10\n"), 100))
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if e := decodeError(t, w); e.Code != "body_too_large" {
+		t.Errorf("error = %+v", e)
+	}
+}
+
+func TestExploreTraceErrorCases(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name  string
+		query string
+		body  string
+		code  string
+	}{
+		{"empty body", traceQueryString, "", "empty_trace"},
+		{"comments only", traceQueryString, "# nothing\n", "empty_trace"},
+		{"record limit", traceQueryString + "&max_records=1", "0 10\n0 20\n", "record_limit"},
+		{"unknown param", traceQueryString + "&bogus=1", "0 10\n", "invalid_options"},
+		{"bad list", "sizes=big", "0 10\n", "invalid_options"},
+		{"classify unsupported via unknown key", "classify=true", "0 10\n", "invalid_options"},
+		{"invalid space", "sizes=16&lines=16", "0 10\n", "invalid_options"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postTrace(t, s, tc.query, []byte(tc.body))
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, body %s", w.Code, w.Body)
+			}
+			if e := decodeError(t, w); e.Code != tc.code {
+				t.Errorf("error code = %q, want %q (%+v)", e.Code, tc.code, e)
+			}
+		})
+	}
+}
+
+func TestExploreTraceCountersAdvance(t *testing.T) {
+	s := newTestServer(t)
+	before := vars.traceRecords.Value()
+	beforeBytes := vars.traceBytesRead.Value()
+	din := kernelDin(t)
+	if w := postTrace(t, s, traceQueryString, din); w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if got := vars.traceRecords.Value() - before; got == 0 {
+		t.Error("trace_records did not advance")
+	}
+	if got := vars.traceBytesRead.Value() - beforeBytes; got != int64(len(din)) {
+		t.Errorf("trace_bytes_read advanced by %d, want %d", got, len(din))
+	}
+
+	// Rejected requests still account for what was ingested.
+	beforeRejects := vars.traceRejects.Value()
+	postTrace(t, s, traceQueryString+"&skip_malformed=true&max_records=1", []byte("0 10\nbogus\n0 20\n"))
+	if vars.traceRejects.Value() == beforeRejects {
+		t.Error("trace_rejects did not advance on a skip-mode request")
+	}
+}
+
+func TestExploreTraceDraining(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	w := postTrace(t, s, traceQueryString, []byte("0 10\n"))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 while draining", w.Code)
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"memexplore/internal/cachesim"
 	"memexplore/internal/core"
 	"memexplore/internal/energy"
+	"memexplore/internal/extrace"
 	"memexplore/internal/hierarchy"
 	"memexplore/internal/icache"
 	"memexplore/internal/kernels"
@@ -358,6 +359,71 @@ func AnalyzeTrace(tr *Trace) TraceProfile { return trace.Analyze(tr) }
 
 // TraceProfile summarizes a trace's statistical shape.
 type TraceProfile = trace.Profile
+
+// External-trace ingestion types (internal/extrace): streaming readers for
+// recorded application traces in the textual din format or the mxt binary
+// format, with transparent gzip decompression.
+type (
+	// TraceIngestOptions bounds and shapes trace ingestion: record and
+	// line-length limits and the malformed-record policy.
+	TraceIngestOptions = extrace.Options
+	// TraceIngestStats is the single-pass statistical profile accumulated
+	// while a trace streams through ingestion.
+	TraceIngestStats = extrace.IngestStats
+	// TraceParseError pinpoints a malformed trace record (line number for
+	// din, byte offset for both formats); retrieve it with errors.As.
+	TraceParseError = extrace.ParseError
+	// TraceReader streams records from an external trace with constant
+	// memory; its Read fills []TraceRef chunks.
+	TraceReader = extrace.Reader
+)
+
+// External-trace typed errors.
+var (
+	// ErrEmptyTrace is returned by the trace-sweep entry points when the
+	// stream ends without a single accepted record.
+	ErrEmptyTrace = core.ErrEmptyTrace
+	// ErrTraceRecordLimit is wrapped by ingestion when a stream exceeds
+	// TraceIngestOptions.MaxRecords.
+	ErrTraceRecordLimit = extrace.ErrRecordLimit
+)
+
+// ExploreTrace runs the MemExplore sweep over an external application
+// trace streamed from r (din or binary, gzip transparently detected) in
+// one sequential, constant-memory pass: every (T, L, S) configuration and
+// the Gray-code bus measurement consume the stream chunk by chunk, so the
+// trace is never materialized and its length is unbounded. Tiling and
+// layout optimization do not apply to recorded traces (they are
+// generation-time transforms); the returned IngestStats profiles whatever
+// was ingested, even when an error is returned.
+func ExploreTrace(r io.Reader, opts Options, ing TraceIngestOptions) ([]Metrics, TraceIngestStats, error) {
+	return core.ExploreTrace(r, opts, ing)
+}
+
+// ExploreTraceReader is ExploreTrace with cancellation: the context is
+// checked at every chunk boundary, and a canceled or expired context
+// yields an error wrapping both ErrCanceled and ctx.Err().
+func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing TraceIngestOptions) ([]Metrics, TraceIngestStats, error) {
+	return core.ExploreTraceReader(ctx, r, opts, ing)
+}
+
+// NewTraceReader opens a streaming reader over an external trace for
+// callers that want the records themselves rather than a sweep.
+func NewTraceReader(r io.Reader, ing TraceIngestOptions) *TraceReader {
+	return extrace.NewReader(r, ing)
+}
+
+// WriteDinTrace encodes a trace in the textual din format (see
+// docs/TRACE_FORMAT.md) and reports the record count.
+func WriteDinTrace(w io.Writer, tr *Trace) (int64, error) {
+	return extrace.WriteDin(w, tr.Reader())
+}
+
+// WriteBinaryTrace encodes a trace in the compact mxt binary format; the
+// encoding round-trips every TraceRef bit-exactly through NewTraceReader.
+func WriteBinaryTrace(w io.Writer, tr *Trace) (int64, error) {
+	return extrace.WriteBinary(w, tr.Reader())
+}
 
 // Scratchpad types and helpers (the Panda/Dutt on-chip alternative).
 type (

@@ -1,0 +1,156 @@
+package memexplore_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memexplore"
+)
+
+// traceTestOptions is the sweep space the golden traces were recorded
+// against (see the golden expectations below).
+func traceTestOptions() memexplore.Options {
+	opts := memexplore.DefaultOptions()
+	opts.CacheSizes = []int{32, 64, 128}
+	opts.LineSizes = []int{4, 8}
+	opts.Assocs = []int{1, 2}
+	return opts
+}
+
+// TestGoldenTraces ingests the bundled gzipped din traces end to end —
+// file bytes → streaming reader → batched sweep → selection — and checks
+// the known-best configurations. The traces were exported from the
+// matadd and compress kernels (tiling 1, sequential layout); regenerate
+// with WriteDinTrace + compress/gzip if the kernels ever change.
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		file      string
+		records   int64
+		bestLabel string
+	}{
+		{"matadd.din.gz", 108, "C32L4S1B1"},
+		{"compress.din.gz", 4805, "C64L8S1B1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ms, st, err := memexplore.ExploreTrace(f, traceTestOptions(), memexplore.TraceIngestOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Records != tc.records || st.Rejects != 0 || !st.Gzip {
+				t.Errorf("ingest stats = %+v, want %d gzipped records", st, tc.records)
+			}
+			best, ok := memexplore.MinEnergy(ms)
+			if !ok {
+				t.Fatal("empty sweep")
+			}
+			if best.Label() != tc.bestLabel {
+				t.Errorf("best config = %s, want %s", best.Label(), tc.bestLabel)
+			}
+		})
+	}
+}
+
+// TestGoldenTraceMatchesKernelSweep pins the golden file to the live
+// kernel: streaming testdata/matadd.din.gz must reproduce, bit for bit,
+// the in-memory matadd sweep it was exported from.
+func TestGoldenTraceMatchesKernelSweep(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "matadd.din.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, _, err := memexplore.ExploreTrace(f, traceTestOptions(), memexplore.TraceIngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kern, err := memexplore.Kernel("matadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := traceTestOptions()
+	opts.Tilings = []int{1}
+	opts.OptimizeLayout = false
+	want, err := memexplore.Explore(kern, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d points from the trace, %d from the kernel", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d differs:\n  trace : %+v\n  kernel: %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFacadeTraceEncoders exercises the exported encoders: a kernel trace
+// written through WriteDinTrace and WriteBinaryTrace streams back through
+// NewTraceReader with identical record counts, and the binary path
+// round-trips refs bit-exactly.
+func TestFacadeTraceEncoders(t *testing.T) {
+	kern, err := memexplore.Kernel("matadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := memexplore.GenerateTrace(kern, memexplore.SequentialLayout(kern, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var din, bin bytes.Buffer
+	if n, err := memexplore.WriteDinTrace(&din, tr); err != nil || n != int64(tr.Len()) {
+		t.Fatalf("WriteDinTrace = (%d, %v), want %d records", n, err, tr.Len())
+	}
+	if n, err := memexplore.WriteBinaryTrace(&bin, tr); err != nil || n != int64(tr.Len()) {
+		t.Fatalf("WriteBinaryTrace = (%d, %v), want %d records", n, err, tr.Len())
+	}
+
+	rd := memexplore.NewTraceReader(&bin, memexplore.TraceIngestOptions{})
+	defer rd.Close()
+	var refs []memexplore.TraceRef
+	buf := make([]memexplore.TraceRef, 64)
+	for {
+		n, err := rd.Read(buf)
+		refs = append(refs, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if len(refs) != tr.Len() {
+		t.Fatalf("binary round trip yielded %d refs, want %d", len(refs), tr.Len())
+	}
+	for i, want := range tr.Refs() {
+		if refs[i] != want {
+			t.Fatalf("ref %d = %+v, want %+v", i, refs[i], want)
+		}
+	}
+}
+
+// TestFacadeTraceErrors checks the re-exported error identities.
+func TestFacadeTraceErrors(t *testing.T) {
+	opts := traceTestOptions()
+	if _, _, err := memexplore.ExploreTrace(bytes.NewReader(nil), opts, memexplore.TraceIngestOptions{}); !errors.Is(err, memexplore.ErrEmptyTrace) {
+		t.Errorf("empty stream: err = %v, want ErrEmptyTrace", err)
+	}
+	_, _, err := memexplore.ExploreTrace(bytes.NewReader([]byte("0 10\n0 20\n")), opts,
+		memexplore.TraceIngestOptions{MaxRecords: 1})
+	if !errors.Is(err, memexplore.ErrTraceRecordLimit) {
+		t.Errorf("record limit: err = %v, want ErrTraceRecordLimit", err)
+	}
+	var perr *memexplore.TraceParseError
+	_, _, err = memexplore.ExploreTrace(bytes.NewReader([]byte("nope\n")), opts, memexplore.TraceIngestOptions{})
+	if !errors.As(err, &perr) || perr.Line != 1 {
+		t.Errorf("malformed stream: err = %v, want *TraceParseError at line 1", err)
+	}
+}
