@@ -15,11 +15,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# Tier-1 plus the race-sensitive packages (the service and the
-# context-aware exploration core) under the race detector, plus a short
-# fuzz pass over the external-trace parser.
+# Tier-1 plus the race-sensitive packages (the service, the
+# context-aware exploration core and the pooled sweep engines) under the
+# race detector, plus a short fuzz pass over the external-trace parser.
 check: build vet test
-	$(GO) test -race ./internal/service ./internal/core ./internal/extrace
+	$(GO) test -race ./internal/service ./internal/core ./internal/cachesim ./internal/extrace
 	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseDin -fuzztime 5s
 
 # Run the memexplored HTTP service (see docs/SERVICE.md).
@@ -33,8 +33,8 @@ short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The sweep-engine comparison (per-point vs batched vs batched-parallel);
-# record the numbers in BENCH_sweep.json.
+# The sweep-engine comparison (per-point vs batched vs inclusion vs
+# inclusion-parallel); record the numbers in BENCH_sweep.json.
 bench-sweep:
 	$(GO) test -run '^$$' -bench BenchmarkExploreSweep -benchmem .
 
@@ -62,6 +62,7 @@ fuzz:
 	$(GO) test ./internal/loopir -fuzz FuzzParseExpr -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzReadDin -fuzztime 30s
 	$(GO) test ./internal/extrace -fuzz FuzzParseDin -fuzztime 30s
+	$(GO) test ./internal/cachesim -fuzz FuzzPerSetStacks -fuzztime 30s
 
 cover:
 	$(GO) test -cover ./...

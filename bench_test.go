@@ -156,9 +156,11 @@ func BenchmarkAblationReplacement(b *testing.B) {
 }
 
 // BenchmarkExploreSweep measures the full DefaultOptions Compress sweep
-// (441 points, sequential layout) on the three engines: the per-point
-// reference path, the workload-grouped batched engine, and the batched
-// engine with worker parallelism. The numbers for the record live in
+// (441 points, sequential layout) on the engine ladder: the per-point
+// reference path, the workload-grouped batched engine (forced, one
+// simulator per configuration), the inclusion engine (the default — one
+// LRU stack pass per (line, sets) group), and the inclusion engine with
+// worker parallelism. The numbers for the record live in
 // BENCH_sweep.json; refresh them with `make bench-sweep`.
 func BenchmarkExploreSweep(b *testing.B) {
 	n := kernels.Compress()
@@ -179,13 +181,18 @@ func BenchmarkExploreSweep(b *testing.B) {
 			}
 		}
 	}
+	batched := opts
+	batched.Engine = core.EngineBatched
 	b.Run("per-point", func(b *testing.B) {
 		run(b, func() ([]core.Metrics, error) { return core.ExplorePerPointContext(ctx, n, opts) })
 	})
 	b.Run("batched", func(b *testing.B) {
+		run(b, func() ([]core.Metrics, error) { return core.ExploreContext(ctx, n, batched) })
+	})
+	b.Run("inclusion", func(b *testing.B) {
 		run(b, func() ([]core.Metrics, error) { return core.ExploreContext(ctx, n, opts) })
 	})
-	b.Run("batched-parallel", func(b *testing.B) {
+	b.Run("inclusion-parallel", func(b *testing.B) {
 		run(b, func() ([]core.Metrics, error) { return core.ExploreParallelContext(ctx, n, opts, 4) })
 	})
 }

@@ -56,6 +56,7 @@ func main() {
 		tracePath   = flag.String("trace", "", "sweep a recorded trace file (din or mxt binary, .gz ok; '-' for stdin) instead of a kernel")
 		skipBad     = flag.Bool("skip-malformed", false, "with -trace, skip malformed records instead of failing")
 		maxRecords  = flag.Int64("max-records", 0, "with -trace, fail after this many records (0 = unlimited)")
+		engineName  = flag.String("engine", "auto", "sweep engine: auto, per-point, batched, inclusion (debugging/benchmarking; results are identical)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,11 @@ func main() {
 	}
 	opts.VictimLines = *victim
 	opts.WriteThrough = *writeThru
+	engine, err := memexplore.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Engine = engine
 
 	if *program != "" {
 		if err := runProgram(*program, opts); err != nil {
@@ -135,9 +141,14 @@ func main() {
 	}
 
 	if !*icacheMode {
-		if w := opts.Workloads(); w < len(ms) {
-			fmt.Printf("evaluated %d configurations over %d workload traces (%d trace passes saved by batching)\n\n",
-				len(ms), w, len(ms)-w)
+		if plan := opts.Plan(); plan.Workloads < len(ms) {
+			fmt.Printf("evaluated %d configurations over %d workload traces (%d trace passes saved by batching)\n",
+				len(ms), plan.Workloads, len(ms)-plan.Workloads)
+			if plan.InclusionGroups > 0 {
+				fmt.Printf("inclusion engine: %d stack groups cover %d configurations, %d fall back — %.1f configs per pass\n",
+					plan.InclusionGroups, plan.InclusionConfigs, plan.FallbackConfigs, plan.ConfigsPerPass())
+			}
+			fmt.Println()
 		}
 	}
 
@@ -228,7 +239,12 @@ func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOp
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace %s: %s\n\n", path, st)
+	fmt.Printf("trace %s: %s\n", path, st)
+	if plan, err := memexplore.TraceSweepPlan(opts); err == nil && plan.InclusionGroups > 0 {
+		fmt.Printf("inclusion engine: %d stack groups cover %d configurations, %d fall back — %.1f configs per pass\n",
+			plan.InclusionGroups, plan.InclusionConfigs, plan.FallbackConfigs, plan.ConfigsPerPass())
+	}
+	fmt.Println()
 
 	if csvPath != "" {
 		if err := writeCSV(csvPath, ms); err != nil {

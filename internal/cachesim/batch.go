@@ -147,6 +147,16 @@ func (b *Batch) Reset() {
 	}
 }
 
+// Release returns the caches' backing arrays to a package pool for reuse
+// by later batches. Call after the final Stats(); the batch must not be
+// used afterwards.
+func (b *Batch) Release() {
+	for _, c := range b.caches {
+		c.release()
+	}
+	b.caches = nil
+}
+
 // RunBatch simulates a trace against every configuration in one pass.
 func RunBatch(cfgs []Config, tr *trace.Trace) ([]Stats, error) {
 	b, err := NewBatch(cfgs)

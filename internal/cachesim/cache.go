@@ -75,7 +75,7 @@ func newCache(cfg Config, classify bool) (*Cache, error) {
 	c := &Cache{
 		cfg:        cfg,
 		sets:       make([][]line, cfg.NumSets()),
-		lines:      make([]line, cfg.NumSets()*cfg.Assoc),
+		lines:      newLines(cfg.NumSets() * cfg.Assoc),
 		offShift:   uint(cfg.OffsetBits()),
 		idxShift:   uint(cfg.IndexBits()),
 		setMask:    uint64(cfg.NumSets() - 1),
@@ -131,9 +131,11 @@ type AccessResult struct {
 
 // Access simulates one reference and updates statistics. A reference that
 // spans multiple lines counts as one access; it is a hit only if every
-// spanned line hits.
+// spanned line hits. The LRU/FIFO clock advances once per spanned line
+// (not per reference), so recency is totally ordered even within a
+// spanning reference — the exact-LRU property the inclusion engine's
+// stack model relies on.
 func (c *Cache) Access(r trace.Ref) AccessResult {
-	c.clock++
 	first := r.Addr >> c.offShift
 	last := r.LastByte() >> c.offShift
 
@@ -210,12 +212,12 @@ func (c *Cache) AccessBlock(refs []trace.Ref) {
 		clock := c.clock
 		st := c.stats
 		for _, r := range refs {
-			clock++
 			first := r.Addr >> offShift
 			last := r.LastByte() >> offShift
 			isWrite := r.Kind == trace.Write
 			hit := true
 			for la := first; la <= last; la++ {
+				clock++
 				l := &lines[la&mask]
 				tag := la >> idxShift
 				if l.valid && l.tag == tag {
@@ -251,12 +253,12 @@ func (c *Cache) AccessBlock(refs []trace.Ref) {
 		return
 	}
 	for _, r := range refs {
-		c.clock++
 		first := r.Addr >> c.offShift
 		last := r.LastByte() >> c.offShift
 		isWrite := r.Kind == trace.Write
 		hit := true
 		for la := first; la <= last; la++ {
+			c.clock++
 			setIdx := la & c.setMask
 			tag := la >> c.idxShift
 			set := c.sets[setIdx]
@@ -333,6 +335,7 @@ func (c *Cache) accessLine(lineAddr uint64, kind trace.Kind) (bool, MissClass) {
 	setIdx := lineAddr & c.setMask
 	tag := lineAddr >> c.idxShift
 	set := c.sets[setIdx]
+	c.clock++
 
 	// Shadow structures are updated on every line touch so that the
 	// classification reflects the same reference stream.

@@ -1,0 +1,232 @@
+package cachesim
+
+import "fmt"
+
+// This file implements the shared per-set LRU stack core behind the
+// inclusion engine (inclusion.go) and stackdist.ComputePerSet.
+//
+// By Mattson's inclusion property, the content of an A-way LRU set is
+// always the top min(occupancy, A) entries of the set's LRU stack, so one
+// stack holds the state of every associativity of a (line size, set
+// count) geometry at once: an access at stack distance d hits every cache
+// with A > d and misses (and refills in) every cache with A ≤ d.
+//
+// Write-back traffic is derived with the Cheetah-style "dirty level"
+// trick: each entry keeps minDirty, the smallest associativity at which
+// the line is dirty. Dirtiness is monotone in A — a write hit at distance
+// d leaves the line dirty in the caches that held it (A > d) AND in the
+// caches that just refilled it on the write miss (A ≤ d, write-allocate)
+// so minDirty becomes 1, while a read at distance d refills a clean copy
+// in every A ≤ d, raising minDirty to max(minDirty, d+1). When an entry
+// slides from stack position p to p+1, the (p+1)-way cache is evicting
+// its LRU line — exactly once per residency generation — and writes it
+// back iff minDirty ≤ p+1.
+
+// stackEntry is one line in a per-set LRU stack.
+type stackEntry struct {
+	la uint64
+	// minDirty is the smallest associativity at which the line is dirty
+	// under write-back, write-allocate semantics (dirtiness is monotone:
+	// dirty at a implies dirty at every a' ≥ a while resident).
+	// stackClean marks a line clean at every associativity.
+	minDirty int32
+}
+
+// stackClean is the minDirty sentinel for "clean everywhere": larger than
+// any real associativity, so minDirty ≤ a never holds.
+const stackClean = int32(1) << 30
+
+// PerSetStacks maintains per-set LRU stacks with dirty-depth markers over
+// a stream of line-address touches. Depth-bounded stacks back the
+// inclusion sweep engine (entries deeper than every tracked associativity
+// are indistinguishable from cold and are dropped); unbounded stacks back
+// stackdist.ComputePerSet, which needs exact distances at any depth.
+// It is not safe for concurrent use.
+type PerSetStacks struct {
+	sets  int
+	depth int // maximum tracked entries per set; 0 = unbounded
+	mask  uint64
+
+	// Bounded mode: set i occupies flat[i*depth : i*depth+occ[i]].
+	flat []stackEntry
+	occ  []int32
+
+	// Unbounded mode: one growable stack per set.
+	dyn [][]stackEntry
+
+	// wb[a] is the number of write-backs an a-way write-back cache of
+	// this geometry performs; index 0 is unused. Grown on demand in
+	// unbounded mode.
+	wb []uint64
+}
+
+// NewPerSetStacks builds stacks for a power-of-two set count. depth bounds
+// the tracked entries per set (the largest associativity of interest);
+// depth 0 keeps every entry.
+func NewPerSetStacks(sets, depth int) (*PerSetStacks, error) {
+	if !isPow2(sets) {
+		return nil, fmt.Errorf("cachesim: set count %d is not a positive power of two", sets)
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("cachesim: negative stack depth %d", depth)
+	}
+	s := &PerSetStacks{sets: sets, depth: depth, mask: uint64(sets - 1)}
+	if depth > 0 {
+		s.flat = make([]stackEntry, sets*depth)
+		s.occ = make([]int32, sets)
+		s.wb = make([]uint64, depth+1)
+	} else {
+		s.dyn = make([][]stackEntry, sets)
+		s.wb = make([]uint64, 1)
+	}
+	return s, nil
+}
+
+// Sets returns the set count.
+func (s *PerSetStacks) Sets() int { return s.sets }
+
+// Depth returns the per-set entry bound (0 = unbounded).
+func (s *PerSetStacks) Depth() int { return s.depth }
+
+// Occupancy returns the number of entries currently tracked for the set.
+func (s *PerSetStacks) Occupancy(set int) int {
+	if s.depth > 0 {
+		return int(s.occ[set])
+	}
+	return len(s.dyn[set])
+}
+
+// Touch records one touch of line address la and returns its within-set
+// stack distance, or -1 when the line was not tracked (a cold miss or,
+// in bounded mode, a reuse deeper than the bound — either way a miss at
+// every tracked associativity). write marks the touch as a write for the
+// dirty markers; write-back events are accumulated into Writebacks.
+func (s *PerSetStacks) Touch(la uint64, write bool) int {
+	si := int(la & s.mask)
+	if s.depth > 0 {
+		return s.touchBounded(si, la, write)
+	}
+	return s.touchUnbounded(si, la, write)
+}
+
+func (s *PerSetStacks) touchBounded(si int, la uint64, write bool) int {
+	base := si * s.depth
+	n := int(s.occ[si])
+	stack := s.flat[base : base+n]
+	for d := range stack {
+		if stack[d].la != la {
+			continue
+		}
+		e := stack[d]
+		s.creditEvictions(stack[:d])
+		if write {
+			e.minDirty = 1
+		} else if e.minDirty < int32(d)+1 {
+			e.minDirty = int32(d) + 1
+		}
+		copy(stack[1:d+1], stack[:d])
+		stack[0] = e
+		return d
+	}
+	// Untracked: a miss (and an eviction, where full) at every tracked
+	// associativity. At the bound the bottom entry falls off entirely —
+	// it is non-resident in every tracked cache, so dropping it is exact.
+	s.creditEvictions(stack)
+	if n < s.depth {
+		n++
+		s.occ[si] = int32(n)
+		stack = s.flat[base : base+n]
+	}
+	copy(stack[1:], stack[:n-1])
+	stack[0] = newStackEntry(la, write)
+	return -1
+}
+
+func (s *PerSetStacks) touchUnbounded(si int, la uint64, write bool) int {
+	stack := s.dyn[si]
+	for d := range stack {
+		if stack[d].la != la {
+			continue
+		}
+		e := stack[d]
+		s.growWB(d)
+		s.creditEvictions(stack[:d])
+		if write {
+			e.minDirty = 1
+		} else if e.minDirty < int32(d)+1 {
+			e.minDirty = int32(d) + 1
+		}
+		copy(stack[1:d+1], stack[:d])
+		stack[0] = e
+		return d
+	}
+	n := len(stack)
+	s.growWB(n)
+	s.creditEvictions(stack)
+	stack = append(stack, stackEntry{})
+	copy(stack[1:], stack[:n])
+	stack[0] = newStackEntry(la, write)
+	s.dyn[si] = stack
+	return -1
+}
+
+func newStackEntry(la uint64, write bool) stackEntry {
+	e := stackEntry{la: la, minDirty: stackClean}
+	if write {
+		e.minDirty = 1
+	}
+	return e
+}
+
+// creditEvictions charges the write-backs of one miss: every entry of
+// displaced is about to slide down one position, so the (p+1)-way cache
+// evicts the entry at position p and writes it back iff it is dirty there.
+func (s *PerSetStacks) creditEvictions(displaced []stackEntry) {
+	for p := range displaced {
+		if displaced[p].minDirty <= int32(p)+1 {
+			s.wb[p+1]++
+		}
+	}
+}
+
+// growWB extends wb so that evictions up to stack position n-1 (cache
+// associativity n) can be credited. Bounded stacks preallocate.
+func (s *PerSetStacks) growWB(n int) {
+	for len(s.wb) <= n {
+		s.wb = append(s.wb, 0)
+	}
+}
+
+// Writebacks returns a copy of the accumulated write-back counts:
+// Writebacks()[a] is the write-back count of an a-way write-back,
+// write-allocate LRU cache of this geometry (index 0 unused). Entries
+// beyond the largest occupancy reached are absent; callers should treat
+// missing indices as zero.
+func (s *PerSetStacks) Writebacks() []uint64 {
+	return append([]uint64(nil), s.wb...)
+}
+
+// WritebacksAt returns Writebacks()[assoc] without copying, treating
+// out-of-range associativities as zero (an a-way cache that never filled
+// a set never evicted from it).
+func (s *PerSetStacks) WritebacksAt(assoc int) uint64 {
+	if assoc < 1 || assoc >= len(s.wb) {
+		return 0
+	}
+	return s.wb[assoc]
+}
+
+// Reset clears all stacks and counters.
+func (s *PerSetStacks) Reset() {
+	if s.depth > 0 {
+		clear(s.flat)
+		clear(s.occ)
+		clear(s.wb)
+		return
+	}
+	for i := range s.dyn {
+		s.dyn[i] = s.dyn[i][:0]
+	}
+	s.wb = s.wb[:1]
+	s.wb[0] = 0
+}

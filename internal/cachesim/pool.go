@@ -1,0 +1,37 @@
+package cachesim
+
+import "sync"
+
+// linePool recycles the flat per-cache backing arrays across batched
+// sweeps: a wide exploration builds and discards a Cache per fallback
+// configuration per workload group, and those arrays dominate the
+// engine's allocation profile. Arrays are returned via Batch.Release /
+// Sweep.Release once their statistics have been read out.
+var linePool sync.Pool // stores *[]line
+
+// newLines returns a zeroed line array of length n, reusing a pooled
+// array when one is large enough.
+func newLines(n int) []line {
+	if p, _ := linePool.Get().(*[]line); p != nil && cap(*p) >= n {
+		a := (*p)[:n]
+		clear(a)
+		return a
+	}
+	return make([]line, n)
+}
+
+// releaseLines returns a line array to the pool.
+func releaseLines(a []line) {
+	if cap(a) > 0 {
+		linePool.Put(&a)
+	}
+}
+
+// release returns the cache's backing array to the pool. The cache must
+// not be used afterwards.
+func (c *Cache) release() {
+	if c.lines != nil {
+		releaseLines(c.lines)
+		c.lines, c.sets = nil, nil
+	}
+}

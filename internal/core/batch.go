@@ -154,6 +154,18 @@ func (c *workloadCache) generate(key traceKey) (*trace.Trace, error) {
 	return n.Generate(lay)
 }
 
+// newGroupSweep builds the simulation engine for one workload group's
+// configurations: the mixed inclusion/batch sweep by default (default-
+// policy configurations sharing a (line, sets) geometry collapse into
+// one LRU stack pass each), or a pure batch when the options force the
+// batched engine or use policies the stack model cannot represent.
+func newGroupSweep(opts Options, cfgs []cachesim.Config) (*cachesim.Sweep, error) {
+	if opts.Engine == EngineBatched || !opts.inclusionEligible() {
+		return cachesim.NewBatchSweep(cfgs)
+	}
+	return cachesim.NewSweep(cfgs)
+}
+
 // runWorkloadGroup simulates every configuration of one workload group
 // in a single pass over its trace, fusing the Gray-code bus measurement
 // into the same traversal, and writes the scored Metrics into out at
@@ -168,12 +180,12 @@ func (c *workloadCache) runWorkloadGroup(ctx context.Context, opts Options, poin
 		p := points[pi]
 		cfgs[i] = opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc)
 	}
-	batch, err := cachesim.NewBatch(cfgs)
+	sweep, err := newGroupSweep(opts, cfgs)
 	if err != nil {
-		return fmt.Errorf("core: building batch for %s/B%d: %w", c.nest.Name, g.key.tiling, err)
+		return fmt.Errorf("core: building sweep for %s/B%d: %w", c.nest.Name, g.key.tiling, err)
 	}
 	ctr := bus.NewSwitchCounter(bus.Gray)
-	stats, err := batch.RunTraceContext(ctx, tr, func(r trace.Ref) { ctr.Drive(r.Addr) })
+	stats, err := sweep.RunTraceContext(ctx, tr, func(r trace.Ref) { ctr.Drive(r.Addr) })
 	if err != nil {
 		// The only error source for an in-memory trace is the context.
 		return canceled(err)
@@ -187,6 +199,7 @@ func (c *workloadCache) runWorkloadGroup(ctx context.Context, opts Options, poin
 		m.Optimized = opts.OptimizeLayout
 		out[pi] = m
 	}
+	sweep.Release()
 	return nil
 }
 

@@ -11,9 +11,11 @@ import (
 )
 
 // TestBatchedMatchesPerPoint pins the tentpole invariant: the
-// workload-grouped batched engine (sequential and parallel) returns
-// bit-identical metrics to the per-point reference engine for every
-// layout/policy combination, in the same Space() order.
+// workload-grouped engine — mixed inclusion/batch by default, and with
+// each engine forced explicitly — returns bit-identical metrics to the
+// per-point reference engine for every layout/policy combination, in the
+// same Space() order. Write traffic is charged into the energy model so
+// a write-back accounting bug cannot hide.
 func TestBatchedMatchesPerPoint(t *testing.T) {
 	n := kernels.Compress()
 	base := DefaultOptions()
@@ -21,6 +23,7 @@ func TestBatchedMatchesPerPoint(t *testing.T) {
 	base.LineSizes = []int{4, 8}
 	base.Assocs = []int{1, 2, 4}
 	base.Tilings = []int{1, 4}
+	base.Energy.CountWriteTraffic = true
 
 	for _, optimized := range []bool{false, true} {
 		for _, repl := range []cachesim.Replacement{cachesim.LRU, cachesim.FIFO, cachesim.Random} {
@@ -56,6 +59,18 @@ func TestBatchedMatchesPerPoint(t *testing.T) {
 							if !reflect.DeepEqual(par, want) {
 								t.Errorf("parallel batched metrics differ from per-point reference")
 								reportFirstDiff(t, par, want)
+							}
+							for _, eng := range []Engine{EnginePerPoint, EngineBatched, EngineInclusion} {
+								fopts := opts
+								fopts.Engine = eng
+								forced, err := ExploreContext(ctx, n, fopts)
+								if err != nil {
+									t.Fatal(err)
+								}
+								if !reflect.DeepEqual(forced, want) {
+									t.Errorf("forced %v engine differs from per-point reference", eng)
+									reportFirstDiff(t, forced, want)
+								}
 							}
 						})
 					}

@@ -147,6 +147,10 @@ type Options struct {
 	// lines to every simulated cache (0 = none; an extension knob — the
 	// ext-victim exhibit compares it against the §4.1 layout).
 	VictimLines int `json:"victim_lines,omitempty"`
+	// Engine forces a sweep execution engine (default auto). Results are
+	// bit-identical across engines, so the choice is not part of the wire
+	// form or the cache key — it is a local debugging/benchmarking knob.
+	Engine Engine `json:"-"`
 }
 
 // cacheConfig builds the simulator configuration for a sweep point under
@@ -512,13 +516,17 @@ func Explore(n *loopir.Nest, opts Options) ([]Metrics, error) {
 // one check interval. The returned error then wraps both ErrCanceled and
 // ctx.Err().
 //
-// Non-classified sweeps run on the workload-grouped batched engine (see
+// Non-classified sweeps run on the workload-grouped engine (see
 // batch.go): each distinct trace is generated and traversed once for all
-// cache configurations that share it. Classified sweeps (Options.
-// Classify) keep the per-point reference path, because 3C classification
-// carries per-cache shadow state that dominates the cost anyway.
+// cache configurations that share it, and within a pass the default-
+// policy configurations further collapse into inclusion groups — one
+// per-set LRU stack per (line, sets) geometry yields every associativity
+// at once (see internal/cachesim's inclusion engine). Classified sweeps
+// (Options.Classify) keep the per-point reference path, because 3C
+// classification carries per-cache shadow state that dominates the cost
+// anyway; Options.Engine forces a specific engine for debugging.
 func ExploreContext(ctx context.Context, n *loopir.Nest, opts Options) ([]Metrics, error) {
-	if opts.Classify {
+	if opts.Classify || opts.Engine == EnginePerPoint {
 		return ExplorePerPointContext(ctx, n, opts)
 	}
 	return exploreBatched(ctx, n, opts, 1)

@@ -33,7 +33,7 @@ func ExploreParallelContext(ctx context.Context, n *loopir.Nest, opts Options, w
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if !opts.Classify {
+	if !opts.Classify && opts.Engine != EnginePerPoint {
 		return exploreBatched(ctx, n, opts, workers)
 	}
 	points := opts.Space()

@@ -1,12 +1,13 @@
 package core
 
-// This file implements the external-trace sweep: the batched engine of
-// batch.go driven not by a generated kernel trace but by an arbitrary
-// application trace streamed through internal/extrace. The whole (T, L, S)
-// space is evaluated in ONE sequential pass over the stream in constant
-// memory — the trace is never materialized — with the Gray-code bus
-// measurement fused into the same pass, exactly as the kernel engine
-// fuses it into trace generation.
+// This file implements the external-trace sweep: the grouped engines of
+// batch.go (the inclusion-property stack sweep with its batch fallback)
+// driven not by a generated kernel trace but by an arbitrary application
+// trace streamed through internal/extrace. The whole (T, L, S) space is
+// evaluated in ONE sequential pass over the stream in constant memory —
+// the trace is never materialized — with the Gray-code bus measurement
+// fused into the same pass, exactly as the kernel engine fuses it into
+// trace generation.
 
 import (
 	"context"
@@ -34,6 +35,9 @@ const traceChunkRefs = cachesim.CancelCheckInterval
 func traceSpace(opts Options) (Options, error) {
 	if opts.Classify {
 		return Options{}, invalidOptions("classify", "3C classification is not supported for external-trace sweeps")
+	}
+	if opts.Engine == EnginePerPoint {
+		return Options{}, invalidOptions("engine", "the per-point engine is not supported for external-trace sweeps: the stream is read once")
 	}
 	opts.Tilings = []int{1}
 	opts.OptimizeLayout = false
@@ -74,9 +78,9 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	for i, p := range points {
 		cfgs[i] = opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc)
 	}
-	batch, err := cachesim.NewBatch(cfgs)
+	sweep, err := newGroupSweep(opts, cfgs)
 	if err != nil {
-		return nil, extrace.IngestStats{}, fmt.Errorf("core: building trace-sweep batch: %w", err)
+		return nil, extrace.IngestStats{}, fmt.Errorf("core: building trace-sweep engine: %w", err)
 	}
 
 	rd := extrace.NewReader(r, ing)
@@ -93,7 +97,7 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 			for _, ref := range block {
 				ctr.Drive(ref.Addr)
 			}
-			batch.AccessBlock(block)
+			sweep.AccessBlock(block)
 		}
 		if rerr == io.EOF {
 			break
@@ -108,7 +112,7 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	}
 
 	addBS := ctr.PerDrive()
-	stats := batch.Stats()
+	stats := sweep.Stats()
 	out := make([]Metrics, len(points))
 	for i, p := range points {
 		m, err := scoreStats(cfgs[i], p.Tiling, opts.Energy, stats[i], addBS)
@@ -117,6 +121,7 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 		}
 		out[i] = m
 	}
+	sweep.Release()
 	return out, st, nil
 }
 

@@ -120,7 +120,7 @@ func ExtICache() (*Result, error) {
 func ExtStackDist() (*Result, error) {
 	res := &Result{ID: "ext-stackdist", Title: "Extension: reuse-distance (stack-distance) analysis of the benchmark kernels"}
 	const line = 8
-	caps := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	caps := []int{4, 8, 16, 32, 64, 128}
 	tbl := report.New(fmt.Sprintf("fully associative miss rate by capacity (lines of %dB)", line),
 		"kernel", "ws(lines)", "c=4", "c=8", "c=16", "c=32", "c=64", "c=128")
 	exact := true
@@ -134,8 +134,8 @@ func ExtStackDist() (*Result, error) {
 			return nil, err
 		}
 		row := []string{n.Name, report.U(h.WorkingSet())}
-		for _, c := range []int{4, 8, 16, 32, 64, 128} {
-			row = append(row, report.F(h.MissRate(c)))
+		for _, rate := range h.Curve(caps) {
+			row = append(row, report.F(rate))
 		}
 		tbl.MustAdd(row...)
 		// Exactness check against the simulator at two capacities.
@@ -149,7 +149,6 @@ func ExtStackDist() (*Result, error) {
 				exact = false
 			}
 		}
-		_ = caps
 	}
 	res.addTable(tbl)
 	res.checkf(exact, "stack-distance predictions match the fully associative simulator exactly (Mattson)")

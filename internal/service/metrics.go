@@ -25,10 +25,18 @@ type counters struct {
 	traceBytesRead expvar.Int // wire bytes read from trace bodies
 	traceRecords   expvar.Int // trace records accepted into sweeps
 	traceRejects   expvar.Int // malformed records skipped (skip mode)
-	latency        latencyHist
+	// inclusionGroups counts the (workload, line, sets) groups the
+	// inclusion engine collapsed into single LRU stack passes across
+	// completed sweeps.
+	inclusionGroups expvar.Int
+	latency         latencyHist
 	// lastPointsPerSec is the throughput of the most recently completed
 	// (uncached) sweep — a gauge, not a cumulative counter.
 	lastPointsPerSec expvar.Float
+	// configsPerPass is the plan amplification of the most recently
+	// completed (uncached) sweep: points per simulation pass unit
+	// (inclusion groups + fallback configurations) — a gauge.
+	configsPerPass expvar.Float
 }
 
 var vars = func() *counters {
@@ -46,8 +54,10 @@ var vars = func() *counters {
 	m.Set("trace_bytes_read", &c.traceBytesRead)
 	m.Set("trace_records", &c.traceRecords)
 	m.Set("trace_rejects", &c.traceRejects)
+	m.Set("inclusion_groups", &c.inclusionGroups)
 	m.Set("latency_ms", &c.latency)
 	m.Set("last_sweep_points_per_sec", &c.lastPointsPerSec)
+	m.Set("configs_per_pass", &c.configsPerPass)
 	return c
 }()
 

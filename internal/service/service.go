@@ -251,7 +251,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("explore", nest.String(), mustJSON(opts))
 	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, sweepStats, error) {
 		ms, err := core.ExploreParallelContext(ctx, nest, opts, s.cfg.SweepWorkers)
-		return ms, sweepStats{points: len(ms), workloads: sweepWorkloads(opts, len(ms))}, err
+		return ms, planStats(opts.Plan(), 1), err
 	})
 	if err != nil {
 		s.failSweep(w, err)
@@ -318,20 +318,13 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 			return nil, sweepStats{}, err
 		}
 		agg := &aggregateResult{program: program, perKernelBest: make(map[string]core.Metrics, len(perKernel))}
-		points := 0
 		for name, ms := range perKernel {
-			points += len(ms)
 			if best, ok := core.MinEnergy(ms); ok {
 				agg.perKernelBest[name] = best
 			}
 		}
-		// One explore sweep per kernel: each pays the options' workload
-		// count on the batched engine.
-		workloads := points
-		if !opts.Classify {
-			workloads = len(ws) * opts.Workloads()
-		}
-		return agg, sweepStats{points: points, workloads: workloads}, nil
+		// One explore sweep per kernel, each with the same pass plan.
+		return agg, planStats(opts.Plan(), len(ws)), nil
 	})
 	if err != nil {
 		s.failSweep(w, err)
@@ -427,23 +420,28 @@ func (s *Server) resolveOptions(w http.ResponseWriter, raw json.RawMessage) (cor
 }
 
 // sweepStats is what a completed sweep reports for the expvar counters:
-// how many config points it scored and how many distinct workload traces
-// it generated and traversed to do so (equal to points for per-point
-// sweeps; far fewer on the batched engine).
+// how many config points it scored, how many distinct workload traces it
+// generated and traversed to do so (equal to points for per-point
+// sweeps; far fewer on the batched engine), and how those points
+// partitioned into inclusion stack groups versus per-configuration pass
+// units.
 type sweepStats struct {
-	points    int
-	workloads int
+	points          int
+	workloads       int
+	inclusionGroups int
+	passUnits       int
 }
 
-// sweepWorkloads reports how many trace passes an explore sweep with the
-// given options performs over a space of `points` configurations:
-// classified sweeps run the per-point engine (one pass per point), all
-// others run one batch pass per distinct workload.
-func sweepWorkloads(opts core.Options, points int) int {
-	if opts.Classify {
-		return points
+// planStats converts a sweep plan (core.Options.Plan) into the expvar
+// report, optionally scaled by a kernel count for aggregate sweeps that
+// repeat the same plan per kernel.
+func planStats(plan core.SweepPlan, kernels int) sweepStats {
+	return sweepStats{
+		points:          plan.Points * kernels,
+		workloads:       plan.Workloads * kernels,
+		inclusionGroups: plan.InclusionGroups * kernels,
+		passUnits:       plan.PassUnits() * kernels,
 	}
-	return opts.Workloads()
 }
 
 // sweep serves a cache hit, or acquires a worker-pool slot and runs fn
@@ -477,6 +475,10 @@ func (s *Server) sweep(ctx context.Context, key string, fn func(context.Context)
 	vars.workloads.Add(int64(st.workloads))
 	if saved := st.points - st.workloads; saved > 0 {
 		vars.passesSaved.Add(int64(saved))
+	}
+	vars.inclusionGroups.Add(int64(st.inclusionGroups))
+	if st.passUnits > 0 {
+		vars.configsPerPass.Set(float64(st.points) / float64(st.passUnits))
 	}
 	if secs := time.Since(begin).Seconds(); secs > 0 {
 		vars.lastPointsPerSec.Set(float64(st.points) / secs)

@@ -337,7 +337,8 @@ func TestDebugVars(t *testing.T) {
 		t.Fatalf("memexplored map: %v", err)
 	}
 	for _, key := range []string{"requests", "cache_hits", "cache_misses", "in_flight_sweeps", "points_evaluated",
-		"workloads_explored", "trace_passes_saved", "last_sweep_points_per_sec", "latency_ms"} {
+		"workloads_explored", "trace_passes_saved", "inclusion_groups", "configs_per_pass",
+		"last_sweep_points_per_sec", "latency_ms"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("expvar map missing %s", key)
 		}
@@ -372,6 +373,31 @@ func TestPointsEvaluatedCounter(t *testing.T) {
 	}
 	if got := vars.passesSaved.Value() - saved0; got != int64(resp.Points)-1 {
 		t.Errorf("trace_passes_saved delta = %d, want %d", got, resp.Points-1)
+	}
+}
+
+func TestInclusionCounters(t *testing.T) {
+	s := newTestServer(t)
+	groups0 := vars.inclusionGroups.Value()
+	// T ∈ {64, 128} × L=8 × S ∈ {1, 2} on the sequential layout (the
+	// optimized layout keys workloads on (T, L), which pins the geometry):
+	// the points (64,8,1) and (128,8,2) share the (L=8, sets=8) geometry —
+	// one inclusion group — while (64,8,2) and (128,8,1) are singleton
+	// geometries (fallbacks). The plan is therefore 4 points over 3 pass
+	// units.
+	w := postJSON(t, s, "/v1/explore", `{"kernel":"pde","options":{"cache_sizes":[64,128],"line_sizes":[8],"assocs":[1,2],"tilings":[1],"optimize_layout":false}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d %s", w.Code, w.Body)
+	}
+	resp := decodeExplore(t, w)
+	if resp.Points != 4 {
+		t.Fatalf("points = %d, want 4", resp.Points)
+	}
+	if got := vars.inclusionGroups.Value() - groups0; got != 1 {
+		t.Errorf("inclusion_groups delta = %d, want 1", got)
+	}
+	if got, want := vars.configsPerPass.Value(), 4.0/3.0; got != want {
+		t.Errorf("configs_per_pass = %g, want %g", got, want)
 	}
 }
 

@@ -129,6 +129,12 @@ func (s *Server) handleExploreTrace(w http.ResponseWriter, r *http.Request) {
 	if saved := len(ms) - 1; saved > 0 {
 		vars.passesSaved.Add(int64(saved))
 	}
+	if plan, perr := core.TraceSweepPlan(tq.opts); perr == nil {
+		vars.inclusionGroups.Add(int64(plan.InclusionGroups))
+		if u := plan.PassUnits(); u > 0 {
+			vars.configsPerPass.Set(float64(plan.Points) / float64(u))
+		}
+	}
 	if secs := time.Since(start).Seconds(); secs > 0 {
 		vars.lastPointsPerSec.Set(float64(len(ms)) / secs)
 	}

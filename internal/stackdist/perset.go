@@ -3,6 +3,7 @@ package stackdist
 import (
 	"fmt"
 
+	"memexplore/internal/cachesim"
 	"memexplore/internal/trace"
 )
 
@@ -11,7 +12,8 @@ import (
 // a set-associative LRU cache with A ways hits an access iff fewer than A
 // distinct lines of the same set were touched since the line's previous
 // access — so one pass yields the exact miss count of every
-// associativity.
+// associativity, and (via the dirty-depth markers the shared stack core
+// keeps) the exact write-back count of every write-back cache too.
 type SetHistogram struct {
 	// LineBytes and Sets fix the mapping.
 	LineBytes int
@@ -23,9 +25,19 @@ type SetHistogram struct {
 	Cold uint64
 	// Total is the number of accesses profiled.
 	Total uint64
+	// WritebackCounts[a] is the number of write-backs an a-way write-back,
+	// write-allocate LRU cache with this mapping performs (index 0
+	// unused). Entries beyond the deepest stack position reached are
+	// absent; Writebacks treats them as zero.
+	WritebackCounts []uint64
 }
 
-// ComputePerSet builds the per-set stack-distance histogram.
+// ComputePerSet builds the per-set stack-distance histogram on the
+// simulator's shared per-set LRU stack core (cachesim.PerSetStacks), the
+// same structure the inclusion sweep engine runs bounded. Distances are
+// per reference at line granularity (the reference's address line; sizes
+// are not expanded), and write references feed the dirty-depth markers
+// that derive per-associativity write-back counts.
 func ComputePerSet(tr *trace.Trace, lineBytes, sets int) (*SetHistogram, error) {
 	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
 		return nil, fmt.Errorf("stackdist: line size %d must be a positive power of two", lineBytes)
@@ -37,48 +49,32 @@ func ComputePerSet(tr *trace.Trace, lineBytes, sets int) (*SetHistogram, error) 
 	for 1<<shift != lineBytes {
 		shift++
 	}
+	stacks, err := cachesim.NewPerSetStacks(sets, 0)
+	if err != nil {
+		return nil, fmt.Errorf("stackdist: %w", err)
+	}
 	h := &SetHistogram{LineBytes: lineBytes, Sets: sets}
-	stacks := make([][]uint64, sets)
 	for i := 0; i < tr.Len(); i++ {
-		la := tr.At(i).Addr >> shift
-		si := la & uint64(sets-1)
-		stack := stacks[si]
+		r := tr.At(i)
 		h.Total++
-		found := -1
-		for j, resident := range stack {
-			if resident == la {
-				found = j
-				break
-			}
-		}
-		if found < 0 {
+		d := stacks.Touch(r.Addr>>shift, r.Kind == trace.Write)
+		if d < 0 {
 			h.Cold++
-			stacks[si] = append([]uint64{la}, stack...)
 			continue
 		}
-		for len(h.Counts) <= found {
+		for len(h.Counts) <= d {
 			h.Counts = append(h.Counts, 0)
 		}
-		h.Counts[found]++
-		copy(stack[1:found+1], stack[0:found])
-		stack[0] = la
+		h.Counts[d]++
 	}
+	h.WritebackCounts = stacks.Writebacks()
 	return h, nil
 }
 
 // Misses returns the exact miss count of an A-way LRU cache with this
 // mapping: cold misses plus accesses at distance ≥ A.
 func (h *SetHistogram) Misses(assoc int) uint64 {
-	if assoc <= 0 {
-		return h.Total
-	}
-	hits := uint64(0)
-	for d, c := range h.Counts {
-		if d < assoc {
-			hits += c
-		}
-	}
-	return h.Total - hits
+	return h.Total - hitsBelow(h.Counts, assoc)
 }
 
 // MissRate is Misses(assoc)/Total.
@@ -87,6 +83,26 @@ func (h *SetHistogram) MissRate(assoc int) float64 {
 		return 0
 	}
 	return float64(h.Misses(assoc)) / float64(h.Total)
+}
+
+// MissCurve evaluates the exact miss count at each associativity,
+// returning one count per entry.
+func (h *SetHistogram) MissCurve(assocs []int) []uint64 {
+	out := make([]uint64, len(assocs))
+	for i, a := range assocs {
+		out[i] = h.Misses(a)
+	}
+	return out
+}
+
+// Writebacks returns the exact write-back count of an A-way write-back,
+// write-allocate LRU cache with this mapping. Associativities beyond the
+// deepest stack position reached write nothing back (they never evicted).
+func (h *SetHistogram) Writebacks(assoc int) uint64 {
+	if assoc < 1 || assoc >= len(h.WritebackCounts) {
+		return 0
+	}
+	return h.WritebackCounts[assoc]
 }
 
 // AssocCurve evaluates the miss rate at each associativity.

@@ -82,6 +82,45 @@ func TestPerSetAccounting(t *testing.T) {
 	}
 }
 
+// TestPerSetWritebacksMatchSimulator checks the dirty-depth derivation:
+// one per-set pass over a read/write trace predicts the exact write-back
+// count of every write-back, write-allocate LRU associativity.
+func TestPerSetWritebacksMatchSimulator(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.New(600)
+		for i := 0; i < 600; i++ {
+			kind := trace.Read
+			if rng.Intn(3) == 0 {
+				kind = trace.Write
+			}
+			// 4-aligned 4-byte references never span an 8-byte line, so the
+			// per-reference profile and the simulator see the same touches.
+			tr.Append(trace.Ref{Addr: uint64(rng.Intn(128)) * 4, Kind: kind, Size: 4})
+		}
+		const line, sets = 8, 4
+		h, err := ComputePerSet(tr, line, sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, assoc := range []int{1, 2, 4, 8} {
+			cfg := cachesim.DefaultConfig(line*sets*assoc, line, assoc)
+			st, err := cachesim.RunTraceFast(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := h.Writebacks(assoc), st.WriteBacks; got != want {
+				t.Errorf("seed %d A=%d: per-set predicts %d write-backs, simulator %d",
+					seed, assoc, got, want)
+			}
+			if got, want := h.Misses(assoc), st.Misses; got != want {
+				t.Errorf("seed %d A=%d: per-set predicts %d misses, simulator %d",
+					seed, assoc, got, want)
+			}
+		}
+	}
+}
+
 func TestPerSetEmpty(t *testing.T) {
 	h, err := ComputePerSet(trace.New(0), 8, 8)
 	if err != nil {

@@ -97,6 +97,21 @@ func (f *fenwick) sum(i int) int {
 	return s
 }
 
+// hitsBelow sums the histogram mass at distances strictly below bound —
+// the hit count of a capacity-bound LRU cache. Shared by the
+// fully-associative Histogram (bound = capacity in lines) and the
+// per-set SetHistogram (bound = associativity).
+func hitsBelow(counts []uint64, bound int) uint64 {
+	if bound > len(counts) {
+		bound = len(counts)
+	}
+	hits := uint64(0)
+	for d := 0; d < bound; d++ {
+		hits += counts[d]
+	}
+	return hits
+}
+
 // MissRate returns the miss rate of a fully associative LRU cache with
 // the given number of lines: accesses whose distance ≥ capacity miss,
 // plus all cold misses.
@@ -104,29 +119,12 @@ func (h *Histogram) MissRate(capacityLines int) float64 {
 	if h.Total == 0 {
 		return 0
 	}
-	if capacityLines <= 0 {
-		return 1
-	}
-	hits := uint64(0)
-	for d, c := range h.Counts {
-		if d < capacityLines {
-			hits += c
-		}
-	}
-	return float64(h.Total-hits) / float64(h.Total)
+	return float64(h.Misses(capacityLines)) / float64(h.Total)
 }
 
 // Misses returns the absolute miss count at the given capacity.
 func (h *Histogram) Misses(capacityLines int) uint64 {
-	hits := uint64(0)
-	if capacityLines > 0 {
-		for d, c := range h.Counts {
-			if d < capacityLines {
-				hits += c
-			}
-		}
-	}
-	return h.Total - hits
+	return h.Total - hitsBelow(h.Counts, capacityLines)
 }
 
 // Curve evaluates the miss-rate-vs-capacity curve at the given line

@@ -270,6 +270,39 @@ type (
 // MinEDP returns the configuration with the lowest energy–delay product.
 func MinEDP(ms []Metrics) (Metrics, bool) { return core.MinEDP(ms) }
 
+// Engine selects the sweep execution engine (Options.Engine). Results
+// are bit-identical across engines; the knob exists for debugging and
+// benchmarking.
+type Engine = core.Engine
+
+// Sweep engines for Options.Engine.
+const (
+	// EngineAuto picks the fastest exact engine (the default).
+	EngineAuto = core.EngineAuto
+	// EnginePerPoint forces one full trace pass per configuration point.
+	EnginePerPoint = core.EnginePerPoint
+	// EngineBatched forces the workload-grouped batched engine without
+	// inclusion grouping.
+	EngineBatched = core.EngineBatched
+	// EngineInclusion is EngineAuto under its explicit name: inclusion
+	// grouping with per-configuration fallback.
+	EngineInclusion = core.EngineInclusion
+)
+
+// ParseEngine parses an engine name: "auto" (or ""), "per-point",
+// "batched", "inclusion".
+func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
+
+// SweepPlan describes how a sweep partitions into simulation pass units
+// before it runs: trace-generation workloads, inclusion groups (one
+// per-set LRU stack pass covering every associativity of a (line, sets)
+// geometry) and per-configuration fallbacks. Options.Plan computes it.
+type SweepPlan = core.SweepPlan
+
+// TraceSweepPlan is Options.Plan for an external-trace sweep (the options
+// restricted to what a recorded trace can vary, a single trace pass).
+func TraceSweepPlan(opts Options) (SweepPlan, error) { return core.TraceSweepPlan(opts) }
+
 // ExploreParallel is Explore with the batched sweep's workload groups
 // distributed over worker goroutines sharing one trace cache; results
 // are identical to Explore.
