@@ -34,14 +34,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The sweep-engine comparison (per-point vs batched vs inclusion vs
-# inclusion-parallel); record the numbers in BENCH_sweep.json.
+# inclusion-parallel vs the single-group fan-out); the raw runs land in
+# BENCH_sweep.out for curation into BENCH_sweep.json.
 bench-sweep:
-	$(GO) test -run '^$$' -bench BenchmarkExploreSweep -benchmem .
+	$(GO) test -run '^$$' -bench BenchmarkExploreSweep -benchmem -count 3 . | tee BENCH_sweep.out
 
-# The external-trace ingestion pipeline (din text → streaming sweep);
-# record the numbers in BENCH_trace.json.
+# The external-trace ingestion pipeline (din text → streaming sweep) at
+# workers = 1 / 2 / NumCPU; the raw runs land in BENCH_trace.out for
+# curation into BENCH_trace.json.
 bench-trace:
-	$(GO) test -run '^$$' -bench BenchmarkExploreDinTrace -benchmem .
+	$(GO) test -run '^$$' -bench BenchmarkExploreDinTrace -benchmem -count 3 . | tee BENCH_trace.out
 
 # CI smoke: one iteration of the sweep benchmark on a vet-clean build —
 # catches engine regressions without paying full benchmark time.

@@ -13,6 +13,7 @@ package memexplore_test
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -195,6 +196,17 @@ func BenchmarkExploreSweep(b *testing.B) {
 	b.Run("inclusion-parallel", func(b *testing.B) {
 		run(b, func() ([]core.Metrics, error) { return core.ExploreParallelContext(ctx, n, opts, 4) })
 	})
+	// One workload group (single tiling): group-level parallelism has
+	// nothing to chew on, so the spare workers shard the group's pass
+	// units instead — the chunk fan-out path.
+	single := opts
+	single.Tilings = []int{1}
+	b.Run("single-group", func(b *testing.B) {
+		run(b, func() ([]core.Metrics, error) { return core.ExploreContext(ctx, n, single) })
+	})
+	b.Run("single-group-fanout", func(b *testing.B) {
+		run(b, func() ([]core.Metrics, error) { return core.ExploreParallelContext(ctx, n, single, 4) })
+	})
 }
 
 // BenchmarkExploreDinTrace measures the external-trace pipeline end to
@@ -224,26 +236,36 @@ func BenchmarkExploreDinTrace(b *testing.B) {
 	payload := bytes.Repeat(one.Bytes(), repeats)
 	records *= repeats
 
-	opts := core.DefaultOptions()
-	b.SetBytes(int64(len(payload)))
-	b.ReportAllocs()
-	b.ResetTimer()
-	var st extrace.IngestStats
-	for i := 0; i < b.N; i++ {
-		var ms []core.Metrics
-		ms, st, err = core.ExploreTrace(bytes.NewReader(payload), opts, extrace.Options{})
-		if err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, workers int) {
+		b.Helper()
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		var st extrace.IngestStats
+		for i := 0; i < b.N; i++ {
+			var ms []core.Metrics
+			ms, st, err = core.ExploreTrace(bytes.NewReader(payload), opts, extrace.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(ms)), "points")
+			}
 		}
-		if i == 0 {
-			b.ReportMetric(float64(len(ms)), "points")
+		b.StopTimer()
+		if st.Records != records {
+			b.Fatalf("ingested %d records, want %d", st.Records, records)
 		}
+		b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 	}
-	b.StopTimer()
-	if st.Records != records {
-		b.Fatalf("ingested %d records, want %d", st.Records, records)
-	}
-	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	// workers=1 is the exact sequential engine; workers=2 adds the decode
+	// pipeline plus a two-shard fan-out; workers=numcpu is the default an
+	// ExploreTrace caller gets (Options.Workers = 0).
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers=2", func(b *testing.B) { run(b, 2) })
+	b.Run("workers=numcpu", func(b *testing.B) { run(b, runtime.NumCPU()) })
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed on a long

@@ -57,6 +57,7 @@ func main() {
 		skipBad     = flag.Bool("skip-malformed", false, "with -trace, skip malformed records instead of failing")
 		maxRecords  = flag.Int64("max-records", 0, "with -trace, fail after this many records (0 = unlimited)")
 		engineName  = flag.String("engine", "auto", "sweep engine: auto, per-point, batched, inclusion (debugging/benchmarking; results are identical)")
+		simWorkers  = flag.Int("workers", 0, "simulation workers fanning each trace chunk across pass-unit shards (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
@@ -84,6 +85,7 @@ func main() {
 		fatal(err)
 	}
 	opts.Engine = engine
+	opts.Workers = *simWorkers
 
 	if *program != "" {
 		if err := runProgram(*program, opts); err != nil {
@@ -240,9 +242,15 @@ func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOp
 		return err
 	}
 	fmt.Printf("trace %s: %s\n", path, st)
-	if plan, err := memexplore.TraceSweepPlan(opts); err == nil && plan.InclusionGroups > 0 {
-		fmt.Printf("inclusion engine: %d stack groups cover %d configurations, %d fall back — %.1f configs per pass\n",
-			plan.InclusionGroups, plan.InclusionConfigs, plan.FallbackConfigs, plan.ConfigsPerPass())
+	if plan, err := memexplore.TraceSweepPlan(opts); err == nil {
+		if plan.InclusionGroups > 0 {
+			fmt.Printf("inclusion engine: %d stack groups cover %d configurations, %d fall back — %.1f configs per pass\n",
+				plan.InclusionGroups, plan.InclusionConfigs, plan.FallbackConfigs, plan.ConfigsPerPass())
+		}
+		if len(plan.Shards) > 1 {
+			fmt.Printf("pipelined engine: %d pass units sharded across %d workers %v\n",
+				plan.PassUnits(), len(plan.Shards), plan.Shards)
+		}
 	}
 	fmt.Println()
 

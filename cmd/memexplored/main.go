@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	memexplored [-addr :8080] [-sweeps 4] [-workers 0] [-cache 128] [-max-body 8388608] [-drain 30s]
+//	memexplored [-addr :8080] [-sweeps 4] [-workers 0] [-cache 128] [-max-body 8388608] [-drain 30s] [-pprof]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new sweeps are rejected
 // with 503 while in-flight sweeps drain for up to -drain.
@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +51,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	cacheN := fs.Int("cache", 128, "result-cache capacity in entries (negative disables)")
 	maxBody := fs.Int64("max-body", 0, "request-body size limit in bytes (0 = 8 MiB default)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,19 +61,38 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		CacheEntries:        *cacheN,
 		MaxBodyBytes:        *maxBody,
 	}
-	return serve(ctx, *addr, cfg, *drain, logw, ready)
+	return serve(ctx, *addr, cfg, *drain, *pprofOn, logw, ready)
+}
+
+// debugMux wraps the service handler with the net/http/pprof endpoints
+// mounted explicitly (the daemon never serves http.DefaultServeMux, so
+// the profiling handlers exist only behind -pprof).
+func debugMux(svc http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", svc)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs the daemon until ctx is canceled, then drains gracefully.
-func serve(ctx context.Context, addr string, cfg service.Config, drain time.Duration, logw io.Writer, ready chan<- string) error {
+func serve(ctx context.Context, addr string, cfg service.Config, drain time.Duration, pprofOn bool, logw io.Writer, ready chan<- string) error {
 	svc := service.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	logger := log.New(logw, "memexplored ", log.LstdFlags)
+	var handler http.Handler = svc
+	if pprofOn {
+		handler = debugMux(svc)
+		logger.Printf("pprof enabled under /debug/pprof/")
+	}
 	hs := &http.Server{
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	logger.Printf("listening on %s", ln.Addr())

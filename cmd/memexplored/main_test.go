@@ -90,3 +90,59 @@ func TestRunBadAddr(t *testing.T) {
 		t.Error("unlistenable address should fail")
 	}
 }
+
+// TestPprofFlag pins the -pprof debug mux: profiling handlers exist only
+// when the flag is set, and the service API keeps working behind them.
+func TestPprofFlag(t *testing.T) {
+	boot := func(t *testing.T, args ...string) (base string, shutdown func()) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, args, io.Discard, ready) }()
+		select {
+		case addr := <-ready:
+			base = "http://" + addr
+		case err := <-done:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		return base, func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("daemon never shut down")
+			}
+		}
+	}
+	get := func(t *testing.T, url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	base, shutdown := boot(t, "-addr", "127.0.0.1:0", "-drain", "5s", "-pprof")
+	if code := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index = %d with -pprof, want 200", code)
+	}
+	if code := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d with -pprof, want 200", code)
+	}
+	if code := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz = %d behind the debug mux, want 200", code)
+	}
+	shutdown()
+
+	base, shutdown = boot(t, "-addr", "127.0.0.1:0", "-drain", "5s")
+	defer shutdown()
+	if code := get(t, base+"/debug/pprof/"); code == http.StatusOK {
+		t.Error("pprof served without -pprof")
+	}
+}

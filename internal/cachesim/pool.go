@@ -1,6 +1,9 @@
 package cachesim
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // linePool recycles the flat per-cache backing arrays across batched
 // sweeps: a wide exploration builds and discards a Cache per fallback
@@ -20,10 +23,22 @@ func newLines(n int) []line {
 	return make([]line, n)
 }
 
+// poolPuts counts line arrays returned to the pool over the process
+// lifetime — a monotonic test hook that lets sweep-teardown tests verify
+// Release runs on every path (including error returns) without reaching
+// into sync.Pool internals.
+var poolPuts atomic.Uint64
+
+// PoolPuts reports how many line arrays have been returned to the
+// package pool so far. Tests compare deltas around an operation; the
+// counter never decreases.
+func PoolPuts() uint64 { return poolPuts.Load() }
+
 // releaseLines returns a line array to the pool.
 func releaseLines(a []line) {
 	if cap(a) > 0 {
 		linePool.Put(&a)
+		poolPuts.Add(1)
 	}
 }
 

@@ -1,0 +1,206 @@
+package cachesim
+
+// This file implements sweep sharding: a Sweep's pass units (inclusion
+// groups and fallback caches) are mutually independent state machines
+// that only ever read the shared reference stream, so they can be
+// partitioned into disjoint shards and advanced by concurrent workers —
+// each shard consuming every block in order — with statistics
+// bit-identical to the sequential Sweep.AccessBlock traversal. The
+// partition balances estimated per-reference cost, not unit count: one
+// per-set stack group walking 8-deep lists costs more per reference
+// than a direct-mapped fallback probe.
+
+import "memexplore/internal/trace"
+
+// Relative per-reference cost weights of the two pass-unit kinds. They
+// only steer load balance (never correctness): an inclusion group's
+// stack touch scans a per-set list of up to maxA entries, a fallback
+// cache probe is an indexed compare plus a bounded way scan.
+const (
+	groupUnitBaseWeight = 4
+	cacheUnitWeight     = 3
+)
+
+// SweepShard is a disjoint subset of a Sweep's pass units. Shards
+// returned by one Shards call cover every unit exactly once, so feeding
+// the same blocks to every shard (in any concurrent interleaving across
+// shards, but in stream order within each) advances the parent Sweep
+// exactly as sequential AccessBlock calls would; statistics are then
+// read from the parent Sweep as usual.
+type SweepShard struct {
+	groups []*inclusionGroup
+	caches []*Cache
+	weight int
+}
+
+// AccessBlock feeds a block of references to every unit of the shard.
+func (sh *SweepShard) AccessBlock(block []trace.Ref) {
+	for _, g := range sh.groups {
+		g.AccessBlock(block)
+	}
+	for _, c := range sh.caches {
+		c.AccessBlock(block)
+	}
+}
+
+// Units returns the number of pass units the shard owns.
+func (sh *SweepShard) Units() int { return len(sh.groups) + len(sh.caches) }
+
+// Weight returns the shard's estimated per-reference cost (the sum of
+// its units' weights) — the quantity the partition balances.
+func (sh *SweepShard) Weight() int { return sh.weight }
+
+// unitWeights returns the estimated cost weight of every pass unit in
+// canonical unit order: inclusion groups first (group order), then the
+// fallback caches (configuration order).
+func (s *Sweep) unitWeights() []int {
+	w := make([]int, 0, s.PassUnits())
+	for _, g := range s.groups {
+		w = append(w, groupUnitBaseWeight+g.maxA)
+	}
+	if s.batch != nil {
+		for range s.batch.caches {
+			w = append(w, cacheUnitWeight)
+		}
+	}
+	return w
+}
+
+// Shards partitions the sweep's pass units into at most n cost-balanced
+// shards (fewer when the sweep has fewer units; one when n ≤ 1). The
+// partition is deterministic for a given sweep and n. The shards borrow
+// the sweep's state: use them instead of (never alongside) the parent's
+// AccessBlock, and read Stats from the parent before Release as usual.
+func (s *Sweep) Shards(n int) []*SweepShard {
+	assign := partitionWeights(s.unitWeights(), n)
+	shards := make([]*SweepShard, len(assign))
+	for i, units := range assign {
+		sh := &SweepShard{}
+		for _, u := range units {
+			if u < len(s.groups) {
+				sh.groups = append(sh.groups, s.groups[u])
+				sh.weight += groupUnitBaseWeight + s.groups[u].maxA
+			} else {
+				sh.caches = append(sh.caches, s.batch.caches[u-len(s.groups)])
+				sh.weight += cacheUnitWeight
+			}
+		}
+		shards[i] = sh
+	}
+	return shards
+}
+
+// partitionWeights assigns unit indices to at most n shards balancing
+// total weight — the LPT greedy heuristic: units are placed heaviest
+// first (ties broken by lower index) onto the currently lightest shard
+// (ties broken by lower shard index), so the result is deterministic.
+// Within a shard, units keep their canonical order. Shards that would
+// stay empty (n exceeds the unit count) are dropped.
+func partitionWeights(weights []int, n int) [][]int {
+	if n > len(weights) {
+		n = len(weights)
+	}
+	if n <= 1 {
+		all := make([]int, len(weights))
+		for i := range weights {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	// Order unit indices by descending weight, stable in index.
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort: unit counts are small
+		for j := i; j > 0 && weights[order[j]] > weights[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	assign := make([][]int, n)
+	load := make([]int, n)
+	for _, u := range order {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		assign[best] = append(assign[best], u)
+		load[best] += weights[u]
+	}
+	for _, units := range assign {
+		// Restore canonical unit order within the shard.
+		for i := 1; i < len(units); i++ {
+			for j := i; j > 0 && units[j] < units[j-1]; j-- {
+				units[j], units[j-1] = units[j-1], units[j]
+			}
+		}
+	}
+	return assign
+}
+
+// ShardUnits reports the per-shard pass-unit counts that Shards would
+// produce for the configurations, without building any simulator state —
+// the planning mirror used by core's SweepPlan. inclusion selects
+// between the NewSweep and NewBatchSweep grouping rules.
+func ShardUnits(cfgs []Config, inclusion bool, n int) ([]int, error) {
+	weights, err := unitWeightsFor(cfgs, inclusion)
+	if err != nil {
+		return nil, err
+	}
+	assign := partitionWeights(weights, n)
+	units := make([]int, len(assign))
+	for i, a := range assign {
+		units[i] = len(a)
+	}
+	return units, nil
+}
+
+// unitWeightsFor computes the pass-unit cost weights newSweep would
+// form for the configurations, in the same canonical unit order, with
+// none of the construction cost (no stacks, no line arrays). Pinned
+// against the built Sweep by TestShardUnitsMatchBuiltSweep.
+func unitWeightsFor(cfgs []Config, inclusion bool) ([]int, error) {
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	type geom struct{ lineBytes, sets int }
+	eligible := make(map[geom]int)
+	if inclusion {
+		for _, cfg := range cfgs {
+			if InclusionEligible(cfg) {
+				eligible[geom{cfg.LineBytes, cfg.NumSets()}]++
+			}
+		}
+	}
+	groupIdx := make(map[geom]int)
+	var groupMaxA []int
+	var fallback int
+	for _, cfg := range cfgs {
+		key := geom{cfg.LineBytes, cfg.NumSets()}
+		if !inclusion || !InclusionEligible(cfg) || eligible[key] < 2 {
+			fallback++
+			continue
+		}
+		gi, ok := groupIdx[key]
+		if !ok {
+			gi = len(groupMaxA)
+			groupIdx[key] = gi
+			groupMaxA = append(groupMaxA, 0)
+		}
+		if cfg.Assoc > groupMaxA[gi] {
+			groupMaxA[gi] = cfg.Assoc
+		}
+	}
+	weights := make([]int, 0, len(groupMaxA)+fallback)
+	for _, maxA := range groupMaxA {
+		weights = append(weights, groupUnitBaseWeight+maxA)
+	}
+	for i := 0; i < fallback; i++ {
+		weights = append(weights, cacheUnitWeight)
+	}
+	return weights, nil
+}

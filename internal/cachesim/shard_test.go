@@ -1,0 +1,196 @@
+package cachesim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"memexplore/internal/trace"
+)
+
+// shardTestConfigs builds a mixed sweep: several inclusion-eligible
+// geometries (multiple associativities per (line, sets)) plus fallback
+// configurations (FIFO replacement and singleton geometries).
+func shardTestConfigs() []Config {
+	var cfgs []Config
+	for _, size := range []int{64, 128, 256} {
+		for _, line := range []int{8, 16} {
+			for _, assoc := range []int{1, 2, 4} {
+				cfgs = append(cfgs, DefaultConfig(size, line, assoc))
+			}
+		}
+	}
+	fifo := DefaultConfig(128, 8, 2)
+	fifo.Replacement = FIFO
+	cfgs = append(cfgs, fifo)
+	cfgs = append(cfgs, DefaultConfig(512, 64, 4)) // singleton geometry
+	return cfgs
+}
+
+func shardTestTrace(nrefs int) *trace.Trace {
+	rng := rand.New(rand.NewSource(99))
+	tr := trace.New(nrefs)
+	for i := 0; i < nrefs; i++ {
+		kind := trace.Read
+		if rng.Intn(4) == 0 {
+			kind = trace.Write
+		}
+		tr.Append(trace.Ref{Addr: uint64(rng.Intn(8192)), Kind: kind, Size: uint8(rng.Intn(3) * 4)})
+	}
+	return tr
+}
+
+// TestShardsCoverAllUnits checks that every pass unit lands in exactly
+// one shard, for worker counts below, at and above the unit count.
+func TestShardsCoverAllUnits(t *testing.T) {
+	cfgs := shardTestConfigs()
+	for _, n := range []int{1, 2, 3, 7, 100} {
+		s, err := NewSweep(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := s.Shards(n)
+		units, weight := 0, 0
+		for _, sh := range shards {
+			if sh.Units() == 0 {
+				t.Errorf("n=%d: empty shard", n)
+			}
+			units += sh.Units()
+			weight += sh.Weight()
+		}
+		if units != s.PassUnits() {
+			t.Errorf("n=%d: shards cover %d units, sweep has %d", n, units, s.PassUnits())
+		}
+		if want := len(shards); n < want {
+			t.Errorf("n=%d produced %d shards", n, want)
+		}
+		var wantWeight int
+		for _, w := range s.unitWeights() {
+			wantWeight += w
+		}
+		if weight != wantWeight {
+			t.Errorf("n=%d: shard weights sum to %d, units sum to %d", n, weight, wantWeight)
+		}
+		s.Release()
+	}
+}
+
+// TestShardedSweepMatchesSequential drives the same trace through a
+// sequential sweep and a sharded one (shards fed round-robin, i.e. any
+// serial interleaving) and requires bit-identical statistics.
+func TestShardedSweepMatchesSequential(t *testing.T) {
+	cfgs := shardTestConfigs()
+	tr := shardTestTrace(6000)
+	refs := tr.Refs()
+
+	seq, err := NewSweep(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(refs); start += 512 {
+		seq.AccessBlock(refs[start:min(start+512, len(refs))])
+	}
+	want := seq.Stats()
+	seq.Release()
+
+	for _, n := range []int{2, 3, 5, 64} {
+		par, err := NewSweep(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := par.Shards(n)
+		for start := 0; start < len(refs); start += 512 {
+			block := refs[start:min(start+512, len(refs))]
+			for _, sh := range shards {
+				sh.AccessBlock(block)
+			}
+		}
+		if got := par.Stats(); !reflect.DeepEqual(got, want) {
+			t.Errorf("n=%d: sharded stats diverge from sequential", n)
+		}
+		par.Release()
+	}
+}
+
+// TestShardUnitsMatchBuiltSweep pins the planning mirror: ShardUnits
+// must predict exactly the partition Shards builds, for both grouping
+// rules.
+func TestShardUnitsMatchBuiltSweep(t *testing.T) {
+	cfgs := shardTestConfigs()
+	for _, inclusion := range []bool{true, false} {
+		for _, n := range []int{1, 2, 4, 9, 50} {
+			var (
+				s   *Sweep
+				err error
+			)
+			if inclusion {
+				s, err = NewSweep(cfgs)
+			} else {
+				s, err = NewBatchSweep(cfgs)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.unitWeights(); true {
+				want, err := unitWeightsFor(cfgs, inclusion)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("inclusion=%v: unitWeightsFor = %v, built sweep has %v", inclusion, want, got)
+				}
+			}
+			var built []int
+			for _, sh := range s.Shards(n) {
+				built = append(built, sh.Units())
+			}
+			planned, err := ShardUnits(cfgs, inclusion, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(built, planned) {
+				t.Errorf("inclusion=%v n=%d: ShardUnits = %v, Shards built %v", inclusion, n, planned, built)
+			}
+			s.Release()
+		}
+	}
+}
+
+// TestPartitionWeightsDeterministic pins the LPT partition: balanced,
+// deterministic, canonical order within shards.
+func TestPartitionWeightsDeterministic(t *testing.T) {
+	weights := []int{12, 4, 4, 7, 3, 3, 3, 9}
+	a := partitionWeights(weights, 3)
+	b := partitionWeights(weights, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("partition not deterministic: %v vs %v", a, b)
+	}
+	seen := make(map[int]bool)
+	for _, shard := range a {
+		for i := 1; i < len(shard); i++ {
+			if shard[i] <= shard[i-1] {
+				t.Errorf("shard %v not in canonical order", shard)
+			}
+		}
+		for _, u := range shard {
+			if seen[u] {
+				t.Errorf("unit %d assigned twice", u)
+			}
+			seen[u] = true
+		}
+	}
+	if len(seen) != len(weights) {
+		t.Errorf("partition covered %d of %d units", len(seen), len(weights))
+	}
+	// LPT on these weights keeps every shard within 2x of the ideal load.
+	ideal := (12 + 4 + 4 + 7 + 3 + 3 + 3 + 9) / 3
+	for si, shard := range a {
+		load := 0
+		for _, u := range shard {
+			load += weights[u]
+		}
+		if load > 2*ideal {
+			t.Errorf("shard %d load %d exceeds 2x ideal %d", si, load, ideal)
+		}
+	}
+}

@@ -166,26 +166,35 @@ func newGroupSweep(opts Options, cfgs []cachesim.Config) (*cachesim.Sweep, error
 	return cachesim.NewSweep(cfgs)
 }
 
-// runWorkloadGroup simulates every configuration of one workload group
-// in a single pass over its trace, fusing the Gray-code bus measurement
-// into the same traversal, and writes the scored Metrics into out at
-// the group's point indices.
-func (c *workloadCache) runWorkloadGroup(ctx context.Context, opts Options, points []ConfigPoint, g workloadGroup, out []Metrics) error {
-	tr, err := c.trace(g.key)
-	if err != nil {
-		return fmt.Errorf("core: generating trace for %s/B%d: %w", c.nest.Name, g.key.tiling, err)
-	}
+// groupConfigs builds the simulator configurations of one workload
+// group's points, in group (= Space()) order.
+func groupConfigs(opts Options, points []ConfigPoint, g workloadGroup) []cachesim.Config {
 	cfgs := make([]cachesim.Config, len(g.indices))
 	for i, pi := range g.indices {
 		p := points[pi]
 		cfgs[i] = opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc)
 	}
+	return cfgs
+}
+
+// runWorkloadGroup simulates every configuration of one workload group
+// in a single pass over its trace, fusing the Gray-code bus measurement
+// into the same traversal, and writes the scored Metrics into out at
+// the group's point indices. fanWorkers > 1 fans each trace chunk out
+// across that many pass-unit shards (see runSweepTrace); results are
+// bit-identical at any value.
+func (c *workloadCache) runWorkloadGroup(ctx context.Context, opts Options, points []ConfigPoint, g workloadGroup, out []Metrics, fanWorkers int) error {
+	tr, err := c.trace(g.key)
+	if err != nil {
+		return fmt.Errorf("core: generating trace for %s/B%d: %w", c.nest.Name, g.key.tiling, err)
+	}
+	cfgs := groupConfigs(opts, points, g)
 	sweep, err := newGroupSweep(opts, cfgs)
 	if err != nil {
 		return fmt.Errorf("core: building sweep for %s/B%d: %w", c.nest.Name, g.key.tiling, err)
 	}
 	ctr := bus.NewSwitchCounter(bus.Gray)
-	stats, err := sweep.RunTraceContext(ctx, tr, func(r trace.Ref) { ctr.Drive(r.Addr) })
+	stats, err := runSweepTrace(ctx, sweep, tr, func(r trace.Ref) { ctr.Drive(r.Addr) }, fanWorkers)
 	if err != nil {
 		// The only error source for an in-memory trace is the context.
 		return canceled(err)
@@ -203,11 +212,52 @@ func (c *workloadCache) runWorkloadGroup(ctx context.Context, opts Options, poin
 	return nil
 }
 
+// fanBudgets splits workers across groups when there are more workers
+// than groups: every group gets one coordinator, and the spare workers
+// are distributed proportionally to the groups' pass-unit counts (the
+// estimated per-reference cost of each group's single pass) by largest
+// remainder, ties to the earlier group — deterministic for given inputs.
+func fanBudgets(unitCounts []int, workers int) []int {
+	budgets := make([]int, len(unitCounts))
+	for i := range budgets {
+		budgets[i] = 1
+	}
+	extra := workers - len(unitCounts)
+	total := 0
+	for _, u := range unitCounts {
+		total += u
+	}
+	if extra <= 0 || total == 0 {
+		return budgets
+	}
+	rems := make([]int, len(unitCounts)) // remainder numerators, denominator total
+	assigned := 0
+	for i, u := range unitCounts {
+		q := extra * u
+		budgets[i] += q / total
+		assigned += q / total
+		rems[i] = q % total
+	}
+	for left := extra - assigned; left > 0; left-- {
+		best := -1
+		for i, r := range rems {
+			if best < 0 || r > rems[best] {
+				best = i
+			}
+		}
+		budgets[best]++
+		rems[best] = -1
+	}
+	return budgets
+}
+
 // exploreBatched is the workload-grouped engine behind ExploreContext
 // and ExploreParallelContext for non-classified sweeps. workers > 1
-// parallelizes across workload groups over a shared trace cache; the
-// returned metrics are bit-identical to the per-point reference engine,
-// in Space() order.
+// parallelizes across workload groups over a shared trace cache; when
+// there are more workers than groups — the one-giant-group shape every
+// external-trace-like sweep has — the surplus fans out inside groups
+// across pass-unit shards instead of idling. The returned metrics are
+// bit-identical to the per-point reference engine, in Space() order.
 func exploreBatched(ctx context.Context, n *loopir.Nest, opts Options, workers int) ([]Metrics, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -220,17 +270,47 @@ func exploreBatched(ctx context.Context, n *loopir.Nest, opts Options, workers i
 	out := make([]Metrics, len(points))
 	cache := newWorkloadCache(n)
 
-	if workers > len(groups) {
-		workers = len(groups)
-	}
 	if workers <= 1 {
 		for _, g := range groups {
 			if err := ctx.Err(); err != nil {
 				return nil, canceled(err)
 			}
-			if err := cache.runWorkloadGroup(ctx, opts, points, g, out); err != nil {
+			if err := cache.runWorkloadGroup(ctx, opts, points, g, out, 1); err != nil {
 				return nil, err
 			}
+		}
+		return out, nil
+	}
+
+	if workers > len(groups) {
+		// More workers than groups: one goroutine per group, each given a
+		// shard fan-out budget proportional to the group's pass-unit count.
+		useInclusion := opts.Engine != EngineBatched && opts.inclusionEligible()
+		unitCounts := make([]int, len(groups))
+		for gi, g := range groups {
+			su, err := cachesim.ShardUnits(groupConfigs(opts, points, g), useInclusion, 1)
+			if err != nil {
+				return nil, fmt.Errorf("core: planning group fan-out: %w", err)
+			}
+			unitCounts[gi] = su[0]
+		}
+		budgets := fanBudgets(unitCounts, workers)
+		errs := make([]error, len(groups))
+		var wg sync.WaitGroup
+		for gi, g := range groups {
+			wg.Add(1)
+			go func(gi int, g workloadGroup) {
+				defer wg.Done()
+				if err := ctx.Err(); err != nil {
+					errs[gi] = canceled(err)
+					return
+				}
+				errs[gi] = cache.runWorkloadGroup(ctx, opts, points, g, out, budgets[gi])
+			}(gi, g)
+		}
+		wg.Wait()
+		if err := firstSweepError(errs); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -251,7 +331,7 @@ func exploreBatched(ctx context.Context, n *loopir.Nest, opts Options, workers i
 					errs[w] = canceled(err)
 					return
 				}
-				if err := cache.runWorkloadGroup(ctx, opts, points, groups[i], out); err != nil {
+				if err := cache.runWorkloadGroup(ctx, opts, points, groups[i], out, 1); err != nil {
 					errs[w] = err
 					return
 				}
@@ -259,8 +339,16 @@ func exploreBatched(ctx context.Context, n *loopir.Nest, opts Options, workers i
 		}(w)
 	}
 	wg.Wait()
-	// Prefer a non-cancellation error if any worker hit one: it is the
-	// more specific diagnosis.
+	if err := firstSweepError(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// firstSweepError reduces per-worker errors, preferring a
+// non-cancellation error if any worker hit one: it is the more specific
+// diagnosis.
+func firstSweepError(errs []error) error {
 	var cancelErr error
 	for _, err := range errs {
 		if err == nil {
@@ -270,10 +358,7 @@ func exploreBatched(ctx context.Context, n *loopir.Nest, opts Options, workers i
 			cancelErr = err
 			continue
 		}
-		return nil, err
+		return err
 	}
-	if cancelErr != nil {
-		return nil, cancelErr
-	}
-	return out, nil
+	return cancelErr
 }

@@ -151,6 +151,13 @@ type Options struct {
 	// bit-identical across engines, so the choice is not part of the wire
 	// form or the cache key — it is a local debugging/benchmarking knob.
 	Engine Engine `json:"-"`
+	// Workers is the simulation worker count for chunked sweeps: the
+	// sweep's pass units are partitioned into that many cost-balanced
+	// shards, each advanced by its own goroutine with a barrier per
+	// chunk. 0 means GOMAXPROCS; 1 selects the exact sequential engine.
+	// Like Engine, results are bit-identical at any value, so Workers is
+	// not part of the wire form or the cache key.
+	Workers int `json:"-"`
 }
 
 // cacheConfig builds the simulator configuration for a sweep point under

@@ -84,6 +84,12 @@ type SweepPlan struct {
 	// FallbackConfigs is the number of points simulated individually
 	// (ineligible policies, singleton geometries, or a forced engine).
 	FallbackConfigs int
+	// Shards, when the plan is for a chunked trace sweep (TraceSweepPlan),
+	// is the pass-unit count of each simulation shard the pipelined engine
+	// will run under the options' worker setting — the cost-balanced
+	// partition of PassUnits() across workers. len(Shards) == 1 means the
+	// sweep runs sequentially. Nil for kernel-sweep plans.
+	Shards []int
 }
 
 // PassUnits is the number of independent simulation units a trace pass
@@ -161,5 +167,18 @@ func TraceSweepPlan(opts Options) (SweepPlan, error) {
 	}
 	plan := opts.Plan()
 	plan.Workloads = 1
+	// Report the shard partition the pipelined engine will use, via the
+	// cachesim planning mirror (pinned against the built sweep by test).
+	points := opts.Space()
+	cfgs := make([]cachesim.Config, len(points))
+	for i, p := range points {
+		cfgs[i] = opts.cacheConfig(p.CacheSize, p.LineSize, p.Assoc)
+	}
+	useInclusion := opts.Engine != EngineBatched && opts.inclusionEligible()
+	shards, err := cachesim.ShardUnits(cfgs, useInclusion, opts.effectiveWorkers())
+	if err != nil {
+		return SweepPlan{}, fmt.Errorf("core: planning trace-sweep shards: %w", err)
+	}
+	plan.Shards = shards
 	return plan, nil
 }

@@ -1,0 +1,313 @@
+package core
+
+// This file implements the pipelined, group-parallel execution engine
+// for chunked sweeps:
+//
+//   - a decode producer goroutine fills []trace.Ref chunk slabs from the
+//     extrace.Reader into a small bounded ring, so parsing (and gzip
+//     inflation) overlaps simulation instead of stalling it; slabs are
+//     recycled through a sync.Pool;
+//   - each filled chunk is broadcast read-only to N shard workers, each
+//     owning a disjoint subset of the cachesim.Sweep's pass units
+//     (cachesim.SweepShard), with the Gray-code bus counter running on
+//     the coordinator as one more consumer;
+//   - a barrier per chunk keeps every consumer chunk-synchronous, so the
+//     engine's statistics are bit-identical to the sequential path in
+//     any worker count (each unit sees the same references in the same
+//     order; units never interact).
+//
+// The same fan-out drives in-memory kernel sweeps (runSweepTrace) when a
+// workload group has more workers than the group count can absorb.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/extrace"
+	"memexplore/internal/trace"
+)
+
+// pipelineRingChunks bounds how many filled chunks may sit between the
+// decode producer and the simulation coordinator: the producer runs at
+// most this far ahead (triple buffering), which caps pipeline memory at
+// a few chunk slabs while still absorbing decode jitter.
+const pipelineRingChunks = 2
+
+// chunkSlabPool recycles the pipeline's chunk slabs across sweeps.
+var chunkSlabPool = sync.Pool{
+	New: func() any {
+		s := make([]trace.Ref, traceChunkRefs)
+		return &s
+	},
+}
+
+// PipelineObserver receives trace-pipeline events so callers (the
+// memexplored service) can export gauges without the engine depending
+// on a metrics system. Any callback may be nil. Callbacks run on the
+// engine's goroutines and must be cheap and safe for concurrent use.
+type PipelineObserver struct {
+	// Workers reports the effective simulation worker count of a trace
+	// sweep as it starts (1 for the sequential path).
+	Workers func(n int)
+	// ChunksInflight reports ring occupancy changes: +1 when the
+	// producer fills a chunk, -1 when the coordinator retires it.
+	ChunksInflight func(delta int)
+	// ChunkStall reports how long the simulation coordinator waited for
+	// the decode producer before each chunk — the pipeline's exposed
+	// decode latency (zero when simulation is the bottleneck).
+	ChunkStall func(d time.Duration)
+}
+
+var pipelineObs atomic.Pointer[PipelineObserver]
+
+// SetPipelineObserver installs the process-wide pipeline observer (nil
+// removes it). It is meant to be set once at service start-up.
+func SetPipelineObserver(obs *PipelineObserver) { pipelineObs.Store(obs) }
+
+func obsWorkers(n int) {
+	if o := pipelineObs.Load(); o != nil && o.Workers != nil {
+		o.Workers(n)
+	}
+}
+
+func obsChunks(delta int) {
+	if o := pipelineObs.Load(); o != nil && o.ChunksInflight != nil {
+		o.ChunksInflight(delta)
+	}
+}
+
+func obsStall(d time.Duration) {
+	if o := pipelineObs.Load(); o != nil && o.ChunkStall != nil {
+		o.ChunkStall(d)
+	}
+}
+
+// effectiveWorkers resolves the Options.Workers knob: 0 (or negative)
+// means GOMAXPROCS, 1 selects the exact sequential path.
+func (o Options) effectiveWorkers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// sweepFanout owns a set of worker goroutines, each consuming a
+// disjoint shard of a Sweep's pass units. process broadcasts one block
+// to every worker and returns only when all of them have consumed it —
+// the per-chunk barrier that keeps the sweep chunk-synchronous (and
+// makes the block's backing slab reusable the moment process returns).
+type sweepFanout struct {
+	chans []chan []trace.Ref
+	ack   chan struct{}
+	wg    sync.WaitGroup
+}
+
+// newSweepFanout starts one goroutine per shard. Callers must stop() it
+// before reading the sweep's statistics or releasing the sweep.
+func newSweepFanout(shards []*cachesim.SweepShard) *sweepFanout {
+	f := &sweepFanout{
+		chans: make([]chan []trace.Ref, len(shards)),
+		ack:   make(chan struct{}, len(shards)),
+	}
+	for i, sh := range shards {
+		ch := make(chan []trace.Ref)
+		f.chans[i] = ch
+		f.wg.Add(1)
+		go func(sh *cachesim.SweepShard, ch <-chan []trace.Ref) {
+			defer f.wg.Done()
+			for block := range ch {
+				sh.AccessBlock(block)
+				f.ack <- struct{}{}
+			}
+		}(sh, ch)
+	}
+	return f
+}
+
+// process broadcasts block to every shard worker, runs mid (when
+// non-nil) on the calling goroutine while the workers chew — the trace
+// engine drives the Gray-code bus counter there — and returns after
+// every worker has acknowledged the block.
+func (f *sweepFanout) process(block []trace.Ref, mid func()) {
+	for _, ch := range f.chans {
+		ch <- block
+	}
+	if mid != nil {
+		mid()
+	}
+	for range f.chans {
+		<-f.ack
+	}
+}
+
+// stop shuts the workers down and joins them. It must not race a
+// process call.
+func (f *sweepFanout) stop() {
+	for _, ch := range f.chans {
+		close(ch)
+	}
+	f.wg.Wait()
+}
+
+// runSweepTrace drives an in-memory trace through the sweep in
+// CancelCheckInterval blocks, fanning each block out across up to
+// workers shard workers (sequentially when workers ≤ 1 or the sweep has
+// a single pass unit). observe, when non-nil, sees every reference on
+// the calling goroutine, overlapped with the shard workers. Statistics
+// are bit-identical to Sweep.RunTraceContext in any worker count.
+func runSweepTrace(ctx context.Context, sweep *cachesim.Sweep, tr *trace.Trace, observe func(trace.Ref), workers int) ([]cachesim.Stats, error) {
+	if workers <= 1 || sweep.PassUnits() < 2 {
+		return sweep.RunTraceContext(ctx, tr, observe)
+	}
+	shards := sweep.Shards(workers)
+	if len(shards) <= 1 {
+		return sweep.RunTraceContext(ctx, tr, observe)
+	}
+	f := newSweepFanout(shards)
+	defer f.stop()
+	refs := tr.Refs()
+	for start := 0; start < len(refs); start += cachesim.CancelCheckInterval {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		block := refs[start:min(start+cachesim.CancelCheckInterval, len(refs))]
+		var mid func()
+		if observe != nil {
+			mid = func() {
+				for _, r := range block {
+					observe(r)
+				}
+			}
+		}
+		f.process(block, mid)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sweep.Stats(), nil
+}
+
+// pipeChunk is one decoded chunk travelling from the producer to the
+// coordinator. refs slices the recyclable slab; err is the reader's
+// terminal state (io.EOF for a clean end) and may accompany refs.
+type pipeChunk struct {
+	slab *[]trace.Ref
+	refs []trace.Ref
+	err  error
+}
+
+// chunkProducer decodes the trace on its own goroutine, publishing
+// filled chunks into a bounded ring. The final chunk carries the
+// reader's terminal error (io.EOF on success); the channel closes once
+// the producer exits, which also publishes every write it made to the
+// extrace.Reader (ingest statistics) to the coordinator.
+type chunkProducer struct {
+	full chan pipeChunk
+	done chan struct{} // closed by the coordinator to abandon the stream
+	once sync.Once
+	join chan struct{} // closed when the producer goroutine has exited
+}
+
+func startChunkProducer(rd *extrace.Reader) *chunkProducer {
+	p := &chunkProducer{
+		full: make(chan pipeChunk, pipelineRingChunks),
+		done: make(chan struct{}),
+		join: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.join)
+		defer close(p.full)
+		for {
+			slab := chunkSlabPool.Get().(*[]trace.Ref)
+			n, err := rd.Read((*slab)[:traceChunkRefs])
+			if n == 0 && err == nil {
+				// Defensive: a no-progress, no-error read; try again.
+				chunkSlabPool.Put(slab)
+				continue
+			}
+			if n > 0 {
+				obsChunks(+1)
+			}
+			msg := pipeChunk{slab: slab, refs: (*slab)[:n], err: err}
+			select {
+			case p.full <- msg:
+			case <-p.done:
+				if n > 0 {
+					obsChunks(-1)
+				}
+				chunkSlabPool.Put(slab)
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// stop abandons the stream and joins the producer goroutine, then
+// drains any chunks still in the ring. After stop returns the producer
+// no longer touches the extrace.Reader, so the caller may snapshot its
+// statistics. The join can block while the producer sits in a blocking
+// Read — the same exposure as the sequential engine, which also only
+// notices cancellation between reads.
+func (p *chunkProducer) stop() {
+	p.once.Do(func() { close(p.done) })
+	<-p.join
+	for msg := range p.full {
+		if len(msg.refs) > 0 {
+			obsChunks(-1)
+		}
+		chunkSlabPool.Put(msg.slab)
+	}
+}
+
+// runTracePipeline is the parallel engine behind ExploreTraceReader: the
+// decode producer overlaps the shard fan-out, the bus counter rides the
+// coordinator, and a barrier per chunk keeps results bit-identical to
+// the sequential path. It consumes the reader to its end (or to the
+// first error / cancellation) and leaves the sweep ready for Stats.
+func runTracePipeline(ctx context.Context, rd *extrace.Reader, sweep *cachesim.Sweep, drive func(uint64), workers int) error {
+	shards := sweep.Shards(workers)
+	obsWorkers(len(shards))
+	fan := newSweepFanout(shards)
+	defer fan.stop()
+	prod := startChunkProducer(rd)
+	defer prod.stop()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return canceled(err)
+		}
+		wait := time.Now()
+		msg, ok := <-prod.full
+		if !ok {
+			// Producer exited without a terminal chunk: only possible
+			// after stop(), which we haven't called — treat as EOF.
+			return nil
+		}
+		obsStall(time.Since(wait))
+		if len(msg.refs) > 0 {
+			fan.process(msg.refs, func() {
+				for _, r := range msg.refs {
+					drive(r.Addr)
+				}
+			})
+			obsChunks(-1)
+		}
+		chunkSlabPool.Put(msg.slab)
+		if msg.err == io.EOF {
+			return nil
+		}
+		if msg.err != nil {
+			return fmt.Errorf("core: ingesting trace: %w", msg.err)
+		}
+	}
+}

@@ -82,29 +82,19 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	if err != nil {
 		return nil, extrace.IngestStats{}, fmt.Errorf("core: building trace-sweep engine: %w", err)
 	}
+	defer sweep.Release() // every return path must recycle the pooled arrays
 
 	rd := extrace.NewReader(r, ing)
 	defer rd.Close()
 	ctr := bus.NewSwitchCounter(bus.Gray)
-	chunk := make([]trace.Ref, traceChunkRefs)
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, rd.Stats(), canceled(err)
-		}
-		n, rerr := rd.Read(chunk)
-		if n > 0 {
-			block := chunk[:n]
-			for _, ref := range block {
-				ctr.Drive(ref.Addr)
-			}
-			sweep.AccessBlock(block)
-		}
-		if rerr == io.EOF {
-			break
-		}
-		if rerr != nil {
-			return nil, rd.Stats(), fmt.Errorf("core: ingesting trace: %w", rerr)
-		}
+	if workers := opts.effectiveWorkers(); workers > 1 && sweep.PassUnits() > 1 {
+		err = runTracePipeline(ctx, rd, sweep, ctr.Drive, workers)
+	} else {
+		obsWorkers(1)
+		err = runTraceSequential(ctx, rd, sweep, ctr.Drive)
+	}
+	if err != nil {
+		return nil, rd.Stats(), err
 	}
 	st := rd.Stats()
 	if st.Records == 0 {
@@ -121,8 +111,34 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 		}
 		out[i] = m
 	}
-	sweep.Release()
 	return out, st, nil
+}
+
+// runTraceSequential is the exact single-goroutine engine (the
+// workers=1 path): read a chunk, drive the bus counter, feed every pass
+// unit, check the context, repeat. The pipelined engine is pinned
+// bit-identical to this loop by the equivalence tests.
+func runTraceSequential(ctx context.Context, rd *extrace.Reader, sweep *cachesim.Sweep, drive func(uint64)) error {
+	chunk := make([]trace.Ref, traceChunkRefs)
+	for {
+		if err := ctx.Err(); err != nil {
+			return canceled(err)
+		}
+		n, rerr := rd.Read(chunk)
+		if n > 0 {
+			block := chunk[:n]
+			for _, ref := range block {
+				drive(ref.Addr)
+			}
+			sweep.AccessBlock(block)
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return fmt.Errorf("core: ingesting trace: %w", rerr)
+		}
+	}
 }
 
 // ExploreTrace is ExploreTraceReader with a background context.

@@ -338,7 +338,8 @@ func TestDebugVars(t *testing.T) {
 	}
 	for _, key := range []string{"requests", "cache_hits", "cache_misses", "in_flight_sweeps", "points_evaluated",
 		"workloads_explored", "trace_passes_saved", "inclusion_groups", "configs_per_pass",
-		"last_sweep_points_per_sec", "latency_ms"} {
+		"last_sweep_points_per_sec", "latency_ms",
+		"trace_workers", "chunks_inflight", "trace_chunk_stall_ms"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("expvar map missing %s", key)
 		}
@@ -466,5 +467,17 @@ func TestLatencyHistogram(t *testing.T) {
 	var parsed map[string]any
 	if err := json.Unmarshal([]byte(h.String()), &parsed); err != nil {
 		t.Fatalf("histogram JSON: %v (%s)", err, h.String())
+	}
+
+	// Instance bounds: the chunk-stall histogram resolves sub-millisecond
+	// waits.
+	sub := latencyHist{bounds: stallBoundsMS}
+	sub.Observe(0.02)
+	sub.Observe(0.3)
+	if got := sub.Quantile(0.5); got != 0.025 {
+		t.Errorf("sub-ms p50 = %v, want 0.025", got)
+	}
+	if err := json.Unmarshal([]byte(sub.String()), &parsed); err != nil {
+		t.Fatalf("sub-ms histogram JSON: %v (%s)", err, sub.String())
 	}
 }

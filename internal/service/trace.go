@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -36,13 +37,17 @@ type traceQuery struct {
 	ing           extrace.Options
 	cycleBound    float64
 	energyBoundNJ float64
+	// workers is the client-requested simulation worker count (0 = server
+	// default); the handler clamps it to the server-side cap before it
+	// reaches core.Options.Workers.
+	workers int
 }
 
 // parseTraceQuery decodes the query parameters strictly: unknown keys and
 // malformed values are errors, mirroring decodeBody's unknown-field
 // policy. Recognized keys: sizes, lines, assocs (comma-separated ints),
 // em (main-memory nJ/access), max_records, skip_malformed,
-// cycle_bound, energy_bound_nj.
+// cycle_bound, energy_bound_nj, workers.
 func parseTraceQuery(q url.Values) (traceQuery, error) {
 	tq := traceQuery{opts: core.DefaultOptions()}
 	for key, vals := range q {
@@ -72,6 +77,12 @@ func parseTraceQuery(q url.Values) (traceQuery, error) {
 			tq.cycleBound, err = strconv.ParseFloat(v, 64)
 		case "energy_bound_nj":
 			tq.energyBoundNJ, err = strconv.ParseFloat(v, 64)
+		case "workers":
+			var n int
+			if n, err = strconv.Atoi(v); err == nil && n < 0 {
+				return tq, &core.ErrInvalidOptions{Field: key, Reason: "workers must be ≥ 0 (0 = server default)"}
+			}
+			tq.workers = n
 		default:
 			return tq, &core.ErrInvalidOptions{Field: key, Reason: "unknown query parameter"}
 		}
@@ -113,6 +124,10 @@ func (s *Server) handleExploreTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Resolve the worker count here so the engine's observer reports the
+	// actual shard count through the trace_workers gauge.
+	tq.opts.Workers = s.traceWorkerCount(tq.workers)
+
 	// Trace sweeps use the worker pool like every sweep, but skip the
 	// result cache: the trace streams through once and is never held, so
 	// there is nothing content-addressable to key on.
@@ -144,6 +159,21 @@ func (s *Server) handleExploreTrace(w http.ResponseWriter, r *http.Request) {
 		Best:    bestOf(ms, tq.cycleBound, tq.energyBoundNJ),
 		Ingest:  st,
 	})
+}
+
+// traceWorkerCount resolves the simulation worker count of one trace
+// sweep: the client's workers= request clamped to the server-side cap —
+// Config.SweepWorkers when set, else GOMAXPROCS. A request of 0 (or no
+// workers= at all) selects the cap.
+func (s *Server) traceWorkerCount(requested int) int {
+	cap := s.cfg.SweepWorkers
+	if cap <= 0 {
+		cap = runtime.GOMAXPROCS(0)
+	}
+	if requested <= 0 || requested > cap {
+		return cap
+	}
+	return requested
 }
 
 // traceSweep runs the streaming sweep under a worker-pool slot with the

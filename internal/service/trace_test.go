@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -211,5 +212,70 @@ func TestExploreTraceDraining(t *testing.T) {
 	w := postTrace(t, s, traceQueryString, []byte("0 10\n"))
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503 while draining", w.Code)
+	}
+}
+
+// TestExploreTraceWorkersParam pins the workers= query parameter: the
+// client request is clamped to the server-side cap, the engine reports
+// the actual shard count through the trace_workers gauge, and the
+// pipeline's ring drains back to empty after every request.
+func TestExploreTraceWorkersParam(t *testing.T) {
+	s := New(Config{MaxConcurrentSweeps: 2, SweepWorkers: 4, CacheEntries: 8})
+	din := kernelDin(t)
+
+	inflightBefore := vars.chunksInflight.Value()
+	stallBefore := vars.chunkStall.count.Load()
+
+	// workers=2 under a cap of 4: two shards run.
+	if w := postTrace(t, s, traceQueryString+"&workers=2", din); w.Code != http.StatusOK {
+		t.Fatalf("workers=2 status = %d: %s", w.Code, w.Body.String())
+	}
+	if got := vars.traceWorkers.Value(); got != 2 {
+		t.Errorf("trace_workers = %d after workers=2, want 2", got)
+	}
+
+	// workers=100 is clamped to the cap (4); the space has 4 pass units,
+	// so 4 shards run.
+	if w := postTrace(t, s, traceQueryString+"&workers=100", din); w.Code != http.StatusOK {
+		t.Fatalf("workers=100 status = %d: %s", w.Code, w.Body.String())
+	}
+	if got := vars.traceWorkers.Value(); got != 4 {
+		t.Errorf("trace_workers = %d after capped workers=100, want 4", got)
+	}
+
+	// workers=1 forces the exact sequential engine.
+	if w := postTrace(t, s, traceQueryString+"&workers=1", din); w.Code != http.StatusOK {
+		t.Fatalf("workers=1 status = %d: %s", w.Code, w.Body.String())
+	}
+	if got := vars.traceWorkers.Value(); got != 1 {
+		t.Errorf("trace_workers = %d after workers=1, want 1", got)
+	}
+
+	if got := vars.chunksInflight.Value(); got != inflightBefore {
+		t.Errorf("chunks_inflight = %d after requests drained, want %d", got, inflightBefore)
+	}
+	if got := vars.chunkStall.count.Load(); got <= stallBefore {
+		t.Error("trace_chunk_stall_ms histogram did not advance on pipelined sweeps")
+	}
+
+	// Equal results at every worker count.
+	r1 := decodeTrace(t, postTrace(t, s, traceQueryString+"&workers=1", din))
+	r4 := decodeTrace(t, postTrace(t, s, traceQueryString+"&workers=4", din))
+	if !reflect.DeepEqual(r1.Metrics, r4.Metrics) || r1.Ingest.Records != r4.Ingest.Records {
+		t.Error("workers=1 and workers=4 responses diverge")
+	}
+}
+
+// TestExploreTraceWorkersValidation rejects malformed workers values.
+func TestExploreTraceWorkersValidation(t *testing.T) {
+	s := newTestServer(t)
+	for _, q := range []string{"workers=-1", "workers=abc", "workers=2&workers=3"} {
+		w := postTrace(t, s, traceQueryString+"&"+q, []byte("0 10\n"))
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", q, w.Code)
+		}
+		if e := decodeError(t, w); e.Code != "invalid_options" {
+			t.Errorf("%s: error code = %q", q, e.Code)
+		}
 	}
 }
