@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test short bench bench-sweep bench-trace bench-guard figs exhibits fuzz cover clean check serve
+.PHONY: all build vet test short bench bench-sweep bench-trace bench-service bench-guard figs exhibits fuzz cover clean check serve
 
 all: build vet test
 
@@ -15,11 +15,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# Tier-1 plus the race-sensitive packages (the service, the
-# context-aware exploration core and the pooled sweep engines) under the
-# race detector, plus a short fuzz pass over the external-trace parser.
+# Tier-1 plus the race-sensitive packages (the service, the async job
+# subsystem, the context-aware exploration core and the pooled sweep
+# engines) under the race detector, plus a short fuzz pass over the
+# external-trace parser.
 check: build vet test
-	$(GO) test -race ./internal/service ./internal/core ./internal/cachesim ./internal/extrace
+	$(GO) test -race ./internal/service ./internal/jobs ./internal/core ./internal/cachesim ./internal/extrace
 	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseDin -fuzztime 5s
 
 # Run the memexplored HTTP service (see docs/SERVICE.md).
@@ -44,6 +45,12 @@ bench-sweep:
 # curation into BENCH_trace.json.
 bench-trace:
 	$(GO) test -run '^$$' -bench BenchmarkExploreDinTrace -benchmem -count 3 . | tee BENCH_trace.out
+
+# Service-level load test: p50/p99 latencies of the synchronous
+# /v1/explore endpoint and the async job pipeline against an in-process
+# server; the report lands in BENCH_service.json.
+bench-service:
+	$(GO) run ./cmd/memexplore-bench
 
 # CI smoke: one iteration of the sweep benchmark on a vet-clean build —
 # catches engine regressions without paying full benchmark time.

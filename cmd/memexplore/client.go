@@ -1,0 +1,315 @@
+package main
+
+// Client mode: with -server the CLI does not sweep locally but submits
+// the work to a running memexplored as an async job (POST /v1/jobs),
+// prints the job id, and with -wait polls it to completion and renders
+// the result with the same report the local modes use. -job fetches or
+// awaits an existing job instead of submitting. The wire mirrors below
+// are deliberately local structs: they document what any external
+// client of the v1 API needs to know.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"memexplore"
+)
+
+// jobPollInterval is the -wait polling cadence.
+const jobPollInterval = 250 * time.Millisecond
+
+// optionsHeader mirrors service.OptionsHeader.
+const optionsHeader = "X-Memexplore-Options"
+
+// jobProgress mirrors the jobs progress object.
+type jobProgress struct {
+	Records       int64 `json:"records"`
+	Chunks        int64 `json:"chunks"`
+	Points        int64 `json:"points"`
+	PointsDone    int64 `json:"points_done"`
+	PassUnits     int64 `json:"pass_units"`
+	PassUnitsDone int64 `json:"pass_units_done"`
+}
+
+// jobFailure mirrors the v1 error detail ({code, message, field}).
+type jobFailure struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+func (f jobFailure) String() string {
+	if f.Field != "" {
+		return fmt.Sprintf("%s (%s): %s", f.Code, f.Field, f.Message)
+	}
+	return fmt.Sprintf("%s: %s", f.Code, f.Message)
+}
+
+// jobRecord mirrors the job record served under /v1/jobs/{id}.
+type jobRecord struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	State    string          `json:"state"`
+	Cached   bool            `json:"cached"`
+	Progress jobProgress     `json:"progress"`
+	Result   json.RawMessage `json:"result"`
+	Error    *jobFailure     `json:"error"`
+}
+
+// terminal mirrors jobs.State.Terminal.
+func (r jobRecord) terminal() bool {
+	return r.State == "done" || r.State == "failed" || r.State == "canceled"
+}
+
+// errorEnvelope mirrors the uniform v1 error body.
+type errorEnvelope struct {
+	Error jobFailure `json:"error"`
+}
+
+// sweepResult is the slice of an explore/explore-trace result body the
+// report needs.
+type sweepResult struct {
+	Kernel  string               `json:"kernel"`
+	Cached  bool                 `json:"cached"`
+	Engine  string               `json:"engine"`
+	Points  int                  `json:"points"`
+	Metrics []memexplore.Metrics `json:"metrics"`
+}
+
+// client talks to one memexplored.
+type client struct {
+	base string
+	hc   http.Client
+}
+
+func newClient(base string) *client {
+	return &client{base: strings.TrimRight(base, "/")}
+}
+
+// do issues one request and decodes error envelopes into Go errors.
+func (c *client) do(method, path string, header http.Header, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		var env errorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err == nil && env.Error.Code != "" {
+			return nil, fmt.Errorf("server: %s", env.Error)
+		}
+		return nil, fmt.Errorf("server: unexpected status %s", resp.Status)
+	}
+	return resp, nil
+}
+
+// decodeInto drains one response into dst.
+func decodeInto(resp *http.Response, dst any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// getJob fetches one job record.
+func (c *client) getJob(id string) (jobRecord, error) {
+	resp, err := c.do("GET", "/v1/jobs/"+id, nil, nil)
+	if err != nil {
+		return jobRecord{}, err
+	}
+	var rec jobRecord
+	return rec, decodeInto(resp, &rec)
+}
+
+// submitExplore submits an "explore" job built from the kernel flags.
+func (c *client) submitExplore(kernelName, kernelFile string, opts memexplore.Options, cycleBound, energyBound float64) (jobRecord, error) {
+	optsJSON, err := json.Marshal(opts)
+	if err != nil {
+		return jobRecord{}, err
+	}
+	body := struct {
+		Kind          string          `json:"kind"`
+		Kernel        string          `json:"kernel,omitempty"`
+		Source        string          `json:"source,omitempty"`
+		Options       json.RawMessage `json:"options,omitempty"`
+		CycleBound    float64         `json:"cycle_bound,omitempty"`
+		EnergyBoundNJ float64         `json:"energy_bound_nj,omitempty"`
+	}{Kind: "explore", Options: optsJSON, CycleBound: cycleBound, EnergyBoundNJ: energyBound}
+	if kernelFile != "" {
+		src, err := os.ReadFile(kernelFile)
+		if err != nil {
+			return jobRecord{}, err
+		}
+		body.Source = string(src)
+	} else {
+		body.Kernel = kernelName
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return jobRecord{}, err
+	}
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
+	resp, err := c.do("POST", "/v1/jobs", hdr, bytes.NewReader(payload))
+	if err != nil {
+		return jobRecord{}, err
+	}
+	var rec jobRecord
+	return rec, decodeInto(resp, &rec)
+}
+
+// submitTrace submits an "explore-trace" job: the trace file is the
+// request body, the sweep options ride in the X-Memexplore-Options
+// header.
+func (c *client) submitTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOptions, cycleBound, energyBound float64) (jobRecord, error) {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return jobRecord{}, err
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return jobRecord{}, err
+	}
+	optsJSON, err := json.Marshal(opts)
+	if err != nil {
+		return jobRecord{}, err
+	}
+	tr := struct {
+		Kind          string          `json:"kind"`
+		Options       json.RawMessage `json:"options,omitempty"`
+		MaxRecords    int64           `json:"max_records,omitempty"`
+		SkipMalformed bool            `json:"skip_malformed,omitempty"`
+		CycleBound    float64         `json:"cycle_bound,omitempty"`
+		EnergyBoundNJ float64         `json:"energy_bound_nj,omitempty"`
+		Workers       int             `json:"workers,omitempty"`
+	}{
+		Kind: "explore-trace", Options: optsJSON,
+		MaxRecords: ing.MaxRecords, SkipMalformed: ing.SkipMalformed,
+		CycleBound: cycleBound, EnergyBoundNJ: energyBound, Workers: opts.Workers,
+	}
+	trJSON, err := json.Marshal(tr)
+	if err != nil {
+		return jobRecord{}, err
+	}
+	hdr := http.Header{optionsHeader: []string{string(trJSON)}}
+	resp, err := c.do("POST", "/v1/jobs", hdr, bytes.NewReader(data))
+	if err != nil {
+		return jobRecord{}, err
+	}
+	var rec jobRecord
+	return rec, decodeInto(resp, &rec)
+}
+
+// progressLine renders a job's progress for the -wait ticker.
+func progressLine(rec jobRecord) string {
+	p := rec.Progress
+	line := fmt.Sprintf("job %s %s", rec.ID, rec.State)
+	if p.PassUnits > 0 {
+		line += fmt.Sprintf(": pass units %d/%d", p.PassUnitsDone, p.PassUnits)
+	}
+	if p.Records > 0 {
+		line += fmt.Sprintf(", %d trace records", p.Records)
+	}
+	return line
+}
+
+// await polls the job to a terminal state, echoing progress changes.
+func (c *client) await(id string, ro reportOpts) error {
+	last := ""
+	for {
+		rec, err := c.getJob(id)
+		if err != nil {
+			return err
+		}
+		if line := progressLine(rec); line != last {
+			fmt.Println(line)
+			last = line
+		}
+		if rec.terminal() {
+			return renderJob(rec, ro)
+		}
+		time.Sleep(jobPollInterval)
+	}
+}
+
+// renderJob prints a terminal job: the standard sweep report for done
+// jobs, the failure envelope otherwise.
+func renderJob(rec jobRecord, ro reportOpts) error {
+	switch rec.State {
+	case "done":
+		var res sweepResult
+		if err := json.Unmarshal(rec.Result, &res); err != nil {
+			return fmt.Errorf("decoding job result: %w", err)
+		}
+		if rec.Cached {
+			fmt.Println("(result recalled from the shared result tier)")
+		}
+		fmt.Printf("engine: %s, %d configurations\n\n", res.Engine, res.Points)
+		return reportSweep(res.Metrics, ro)
+	case "canceled":
+		return fmt.Errorf("job %s was canceled", rec.ID)
+	default:
+		if rec.Error != nil {
+			return fmt.Errorf("job %s failed: %s", rec.ID, rec.Error)
+		}
+		return fmt.Errorf("job %s failed", rec.ID)
+	}
+}
+
+// runClient dispatches the CLI's client mode: fetch/await an existing
+// job, or submit the sweep the local flags describe.
+func runClient(server, jobID string, wait bool, tracePath string,
+	kernelName, kernelFile string, opts memexplore.Options,
+	ing memexplore.TraceIngestOptions, cycleBound, energyBound float64, ro reportOpts) error {
+	c := newClient(server)
+	if jobID != "" {
+		if !wait {
+			rec, err := c.getJob(jobID)
+			if err != nil {
+				return err
+			}
+			fmt.Println(progressLine(rec))
+			if rec.terminal() {
+				return renderJob(rec, ro)
+			}
+			return nil
+		}
+		return c.await(jobID, ro)
+	}
+	var (
+		rec jobRecord
+		err error
+	)
+	if tracePath != "" {
+		rec, err = c.submitTrace(tracePath, opts, ing, cycleBound, energyBound)
+	} else {
+		rec, err = c.submitExplore(kernelName, kernelFile, opts, cycleBound, energyBound)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted job %s (%s, state %s)\n", rec.ID, rec.Kind, rec.State)
+	if !wait {
+		fmt.Printf("poll with: memexplore -server %s -job %s -wait\n", c.base, rec.ID)
+		if rec.terminal() {
+			return renderJob(rec, ro)
+		}
+		return nil
+	}
+	return c.await(rec.ID, ro)
+}

@@ -9,10 +9,16 @@
 //	memexplore -kernel matmul -unoptimized -pareto
 //	memexplore -trace app.din.gz
 //	memexplore -list
+//	memexplore -server http://localhost:8080 -kernel compress -wait
+//	memexplore -server http://localhost:8080 -job 4f1c... -wait
 //
 // With -trace the workload is a recorded application trace (din text or
 // mxt binary, optionally gzipped; "-" reads stdin) streamed through the
 // sweep in one constant-memory pass instead of a generated kernel.
+//
+// With -server the sweep is submitted to a running memexplored as an
+// async job instead of running locally; -wait polls it to completion
+// and renders the result, and -job fetches or awaits an existing job id.
 package main
 
 import (
@@ -58,6 +64,9 @@ func main() {
 		maxRecords  = flag.Int64("max-records", 0, "with -trace, fail after this many records (0 = unlimited)")
 		engineName  = flag.String("engine", "auto", "sweep engine: auto, per-point, batched, inclusion (debugging/benchmarking; results are identical)")
 		simWorkers  = flag.Int("workers", 0, "simulation workers fanning each trace chunk across pass-unit shards (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		serverURL   = flag.String("server", "", "submit the sweep to this memexplored base URL as an async job instead of running locally")
+		jobID       = flag.String("job", "", "with -server, fetch (or with -wait, await) this existing job id instead of submitting")
+		waitJob     = flag.Bool("wait", false, "with -server, poll the job until it finishes and render its result")
 	)
 	flag.Parse()
 
@@ -86,6 +95,19 @@ func main() {
 	}
 	opts.Engine = engine
 	opts.Workers = *simWorkers
+
+	if *serverURL != "" || *jobID != "" {
+		if *serverURL == "" {
+			fatal(fmt.Errorf("-job requires -server"))
+		}
+		ing := memexplore.TraceIngestOptions{MaxRecords: *maxRecords, SkipMalformed: *skipBad}
+		ro := reportOpts{top: *top, cycleBound: *cycleBound, energyBound: *energyBound, pareto: *pareto}
+		if err := runClient(*serverURL, *jobID, *waitJob, *tracePath,
+			*kernelName, *kernelFile, opts, ing, *cycleBound, *energyBound, ro); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *program != "" {
 		if err := runProgram(*program, opts); err != nil {

@@ -1,15 +1,19 @@
 // Command memexplored serves the MemExplore sweep as a long-running
 // HTTP/JSON API: POST /v1/explore and /v1/aggregate run (or recall from
-// the result cache) design-space sweeps, GET /v1/kernels lists the
-// registry, /healthz and /debug/vars expose liveness and counters. See
-// docs/SERVICE.md for the wire reference and curl examples.
+// the result cache) design-space sweeps, POST /v1/jobs runs them
+// asynchronously with progress polling and SSE streaming under
+// /v1/jobs/{id}, GET /v1/kernels lists the registry, /healthz and
+// /debug/vars expose liveness and counters. See docs/SERVICE.md for the
+// wire reference and curl examples.
 //
 // Usage:
 //
-//	memexplored [-addr :8080] [-sweeps 4] [-workers 0] [-cache 128] [-max-body 8388608] [-drain 30s] [-pprof]
+//	memexplored [-addr :8080] [-sweeps 4] [-workers 0] [-cache 128] [-max-body 8388608]
+//	            [-jobs 2] [-job-ttl 15m] [-job-cache 256] [-jobs-dir DIR] [-drain 30s] [-pprof]
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: new sweeps are rejected
-// with 503 while in-flight sweeps drain for up to -drain.
+// SIGINT/SIGTERM trigger a graceful shutdown: new sweeps and job
+// submissions are rejected with 503 while in-flight work drains for up
+// to -drain.
 package main
 
 import (
@@ -50,6 +54,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	workers := fs.Int("workers", 0, "goroutines per sweep (0 = GOMAXPROCS)")
 	cacheN := fs.Int("cache", 128, "result-cache capacity in entries (negative disables)")
 	maxBody := fs.Int64("max-body", 0, "request-body size limit in bytes (0 = 8 MiB default)")
+	jobSlots := fs.Int("jobs", 2, "max concurrently running async jobs")
+	jobTTL := fs.Duration("job-ttl", 15*time.Minute, "how long finished job records stay readable (in-memory store)")
+	jobCap := fs.Int("job-cache", 256, "in-memory job store capacity in records")
+	jobsDir := fs.String("jobs-dir", "", "store job records as files under this directory (shared result tier; overrides -job-ttl/-job-cache)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +68,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		SweepWorkers:        *workers,
 		CacheEntries:        *cacheN,
 		MaxBodyBytes:        *maxBody,
+		MaxConcurrentJobs:   *jobSlots,
+		JobTTL:              *jobTTL,
+		JobCapacity:         *jobCap,
+		JobsDir:             *jobsDir,
 	}
 	return serve(ctx, *addr, cfg, *drain, *pprofOn, logw, ready)
 }
@@ -80,7 +92,10 @@ func debugMux(svc http.Handler) http.Handler {
 
 // serve runs the daemon until ctx is canceled, then drains gracefully.
 func serve(ctx context.Context, addr string, cfg service.Config, drain time.Duration, pprofOn bool, logw io.Writer, ready chan<- string) error {
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

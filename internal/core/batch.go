@@ -208,6 +208,9 @@ func (c *workloadCache) runWorkloadGroup(ctx context.Context, opts Options, poin
 		m.Optimized = opts.OptimizeLayout
 		out[pi] = m
 	}
+	if progress := progressFrom(ctx); progress != nil {
+		progress(ProgressEvent{Points: int64(len(g.indices)), PassUnits: int64(sweep.PassUnits())})
+	}
 	sweep.Release()
 	return nil
 }

@@ -551,6 +551,7 @@ func ExplorePerPointContext(ctx context.Context, n *loopir.Nest, opts Options) (
 		return nil, err
 	}
 	points := opts.Space()
+	progress := progressFrom(ctx)
 	out := make([]Metrics, 0, len(points))
 	for _, p := range points {
 		if err := ctx.Err(); err != nil {
@@ -561,6 +562,9 @@ func ExplorePerPointContext(ctx context.Context, n *loopir.Nest, opts Options) (
 			return nil, fmt.Errorf("core: evaluating %s/%v: %w", n.Name, p, err)
 		}
 		out = append(out, m)
+		if progress != nil {
+			progress(ProgressEvent{Points: 1, PassUnits: 1})
+		}
 	}
 	return out, nil
 }

@@ -49,6 +49,7 @@ func ExploreParallelContext(ctx context.Context, n *loopir.Nest, opts Options, w
 
 	out := make([]Metrics, len(points))
 	errs := make([]error, workers)
+	progress := progressFrom(ctx)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -75,6 +76,9 @@ func ExploreParallelContext(ctx context.Context, n *loopir.Nest, opts Options, w
 					return
 				}
 				out[i] = m
+				if progress != nil {
+					progress(ProgressEvent{Points: 1, PassUnits: 1})
+				}
 			}
 		}(w)
 	}

@@ -275,6 +275,7 @@ func (p *chunkProducer) stop() {
 // the sequential path. It consumes the reader to its end (or to the
 // first error / cancellation) and leaves the sweep ready for Stats.
 func runTracePipeline(ctx context.Context, rd *extrace.Reader, sweep *cachesim.Sweep, drive func(uint64), workers int) error {
+	progress := progressFrom(ctx)
 	shards := sweep.Shards(workers)
 	obsWorkers(len(shards))
 	fan := newSweepFanout(shards)
@@ -301,6 +302,9 @@ func runTracePipeline(ctx context.Context, rd *extrace.Reader, sweep *cachesim.S
 				}
 			})
 			obsChunks(-1)
+			if progress != nil {
+				progress(ProgressEvent{Records: int64(len(msg.refs)), Chunks: 1})
+			}
 		}
 		chunkSlabPool.Put(msg.slab)
 		if msg.err == io.EOF {

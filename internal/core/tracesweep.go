@@ -119,6 +119,7 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 // unit, check the context, repeat. The pipelined engine is pinned
 // bit-identical to this loop by the equivalence tests.
 func runTraceSequential(ctx context.Context, rd *extrace.Reader, sweep *cachesim.Sweep, drive func(uint64)) error {
+	progress := progressFrom(ctx)
 	chunk := make([]trace.Ref, traceChunkRefs)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -131,6 +132,9 @@ func runTraceSequential(ctx context.Context, rd *extrace.Reader, sweep *cachesim
 				drive(ref.Addr)
 			}
 			sweep.AccessBlock(block)
+			if progress != nil {
+				progress(ProgressEvent{Records: int64(n), Chunks: 1})
+			}
 		}
 		if rerr == io.EOF {
 			return nil

@@ -1,0 +1,94 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FSStore is the shareable Store: each record is one JSON file in a
+// directory, written atomically (temp file + rename) and named by the
+// SHA-256 of its key, so arbitrary keys — job ids and content-address
+// hashes alike — map to safe, fixed-length, collision-free file names.
+// Several replicas may point at the same directory (over a shared
+// volume): a job finished on one replica is immediately readable on the
+// others, and content-keyed results are recalled by every replica. A
+// fresh FSStore over an existing directory sees everything already in
+// it, which is also what makes results survive a process restart.
+type FSStore struct {
+	dir string
+}
+
+// NewFSStore opens (creating if needed) a filesystem store rooted at dir.
+func NewFSStore(dir string) (*FSStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: filesystem store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating store directory: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+// path maps a key to its file.
+func (s *FSStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Put implements Store: marshal, write to a temp file in the same
+// directory, fsync-free rename into place. Rename atomicity is what
+// keeps concurrent replicas from ever observing a torn record.
+func (s *FSStore) Put(key string, rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: marshaling record %s: %w", rec.ID, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("jobs: creating temp record: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: writing record: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobs: closing record: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("jobs: publishing record: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FSStore) Get(key string) (Record, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return Record{}, false, nil
+	}
+	if err != nil {
+		return Record{}, false, fmt.Errorf("jobs: reading record: %w", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, false, fmt.Errorf("jobs: decoding record under %s: %w", key, err)
+	}
+	return rec, true, nil
+}
+
+// Delete implements Store.
+func (s *FSStore) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("jobs: deleting record: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Package jobs implements memexplored's asynchronous job subsystem: a
+// job is one sweep (kernel or external-trace) accepted with 202 and run
+// in the background on a bounded runner pool, its lifecycle
+//
+//	queued → running → done | failed | canceled
+//
+// observable by polling and by a versioned watch stream (the SSE
+// endpoint). Terminal jobs are persisted through a Store — the result
+// tier. Two implementations ship: an in-memory store with TTL and
+// capacity eviction, and a content-addressed filesystem store whose
+// directory may be shared by several replicas, so a sweep finished on
+// one replica is readable (and reusable, via content keys) on all of
+// them.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is a job's cumulative progress snapshot. Totals (Points,
+// PassUnits) are set from the sweep plan when the job starts; the
+// *Done counters and the trace counters advance as the engines report.
+type Progress struct {
+	// Records is the number of trace references ingested and simulated
+	// so far (external-trace jobs only).
+	Records int64 `json:"records"`
+	// Chunks is the number of trace chunks processed so far
+	// (external-trace jobs only).
+	Chunks int64 `json:"chunks"`
+	// Points is the total number of sweep configuration points planned.
+	Points int64 `json:"points"`
+	// PointsDone is the number of configuration points completed.
+	PointsDone int64 `json:"points_done"`
+	// PassUnits is the total number of simulation pass units planned.
+	PassUnits int64 `json:"pass_units"`
+	// PassUnitsDone is the number of pass units completed.
+	PassUnitsDone int64 `json:"pass_units_done"`
+}
+
+// Failure is the machine-readable error of a failed job — the same
+// {code, message, field} shape the synchronous endpoints put in their
+// error envelope, so clients handle both identically.
+type Failure struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+// Record is the serializable snapshot of a job: what GET /v1/jobs/{id}
+// returns, what the Store persists, and what every watch event carries.
+type Record struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	// Cached reports that the result was recalled from the shared result
+	// tier (by content key) instead of running the sweep.
+	Cached     bool       `json:"cached,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Progress   Progress   `json:"progress"`
+	// ContentKey is the content address of the job's request (the same
+	// canonical hash the synchronous result cache uses). Jobs sharing a
+	// content key share a result in the store-backed tier.
+	ContentKey string `json:"content_key,omitempty"`
+	// Result is the completed sweep's response body (present when
+	// State == done); its shape equals the synchronous endpoint's reply.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the mapped failure (present when State == failed).
+	Error *Failure `json:"error,omitempty"`
+}
+
+// Clone returns a deep copy of the record (the raw result and the
+// failure are copied, so mutating one snapshot never aliases another).
+func (r Record) Clone() Record {
+	cp := r
+	if r.Result != nil {
+		cp.Result = append(json.RawMessage(nil), r.Result...)
+	}
+	if r.Error != nil {
+		e := *r.Error
+		cp.Error = &e
+	}
+	if r.StartedAt != nil {
+		t := *r.StartedAt
+		cp.StartedAt = &t
+	}
+	if r.FinishedAt != nil {
+		t := *r.FinishedAt
+		cp.FinishedAt = &t
+	}
+	return cp
+}
+
+// NewID returns a fresh 128-bit random job id in hex.
+func NewID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: reading random id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,364 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// awaitTerminal watches id to its terminal record (with a test
+// timeout), returning every record version the watcher observed.
+func awaitTerminal(t *testing.T, r *Runner, id string) []Record {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var seen []Record
+	found, err := r.Watch(ctx, id, func(rec Record) error {
+		seen = append(seen, rec)
+		return nil
+	})
+	if err != nil || !found {
+		t.Fatalf("Watch = found=%v err=%v", found, err)
+	}
+	return seen
+}
+
+func TestRunnerLifecycle(t *testing.T) {
+	store := NewMemStore(0, 0)
+	r := NewRunner(store, 1, nil, Hooks{})
+	rec, err := r.Submit("explore", "", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		rep.SetTotals(4, 2)
+		rep.Add(100, 1, 4, 2)
+		return []byte(`{"ok":true}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID == "" || rec.State != StateQueued || rec.CreatedAt.IsZero() {
+		t.Fatalf("submit record = %+v", rec)
+	}
+
+	seen := awaitTerminal(t, r, rec.ID)
+	final := seen[len(seen)-1]
+	if final.State != StateDone {
+		t.Fatalf("final state = %s (%+v)", final.State, final.Error)
+	}
+	if string(final.Result) != `{"ok":true}` {
+		t.Fatalf("result = %s", final.Result)
+	}
+	if final.StartedAt == nil || final.FinishedAt == nil {
+		t.Fatal("terminal record missing timestamps")
+	}
+	if final.Progress.Records != 100 || final.Progress.PointsDone != 4 || final.Progress.PassUnits != 2 {
+		t.Fatalf("progress = %+v", final.Progress)
+	}
+
+	// The terminal record is persisted and served from the store.
+	got, ok, err := r.Get(rec.ID)
+	if err != nil || !ok {
+		t.Fatalf("Get after settle = ok=%v err=%v", ok, err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("stored state = %s", got.State)
+	}
+	if _, ok, _ := store.Get(rec.ID); !ok {
+		t.Fatal("record not in the store")
+	}
+}
+
+// TestRunnerWatchOrdering pins the watch contract: versions are
+// strictly ordered, states never regress, progress never decreases, and
+// the terminal record is the last delivery.
+func TestRunnerWatchOrdering(t *testing.T) {
+	r := NewRunner(NewMemStore(0, 0), 1, nil, Hooks{})
+	rec, err := r.Submit("explore", "", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		for i := 0; i < 50; i++ {
+			rep.Add(10, 1, 0, 0)
+		}
+		return []byte(`{}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := awaitTerminal(t, r, rec.ID)
+
+	rank := map[State]int{StateQueued: 0, StateRunning: 1, StateDone: 2, StateFailed: 2, StateCanceled: 2}
+	lastRank, lastRecords := -1, int64(-1)
+	for i, s := range seen {
+		if rank[s.State] < lastRank {
+			t.Fatalf("state regressed at %d: %v", i, states(seen))
+		}
+		lastRank = rank[s.State]
+		if s.Progress.Records < lastRecords {
+			t.Fatalf("progress regressed at %d", i)
+		}
+		lastRecords = s.Progress.Records
+		if s.State.Terminal() && i != len(seen)-1 {
+			t.Fatalf("terminal state delivered mid-stream: %v", states(seen))
+		}
+	}
+	if final := seen[len(seen)-1]; !final.State.Terminal() || final.Progress.Records != 500 {
+		t.Fatalf("final = %s with %d records", final.State, final.Progress.Records)
+	}
+
+	// Watching a settled job delivers exactly its stored record.
+	var replays []Record
+	found, err := r.Watch(context.Background(), rec.ID, func(rec Record) error {
+		replays = append(replays, rec)
+		return nil
+	})
+	if err != nil || !found || len(replays) != 1 || replays[0].State != StateDone {
+		t.Fatalf("settled watch = found=%v err=%v records=%d", found, err, len(replays))
+	}
+}
+
+func states(recs []Record) []State {
+	out := make([]State, len(recs))
+	for i, r := range recs {
+		out[i] = r.State
+	}
+	return out
+}
+
+func TestRunnerCancelWhileRunning(t *testing.T) {
+	r := NewRunner(NewMemStore(0, 0), 1, nil, Hooks{})
+	started := make(chan struct{})
+	rec, err := r.Submit("explore", "", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, ok, err := r.Cancel(rec.ID); err != nil || !ok {
+		t.Fatalf("Cancel = ok=%v err=%v", ok, err)
+	}
+	seen := awaitTerminal(t, r, rec.ID)
+	final := seen[len(seen)-1]
+	if final.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", final.State)
+	}
+	if final.Error != nil || final.Result != nil {
+		t.Fatalf("canceled record carries error/result: %+v", final)
+	}
+	// The runner fully drains afterwards: no goroutine is stuck.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatalf("Drain after cancel: %v", err)
+	}
+}
+
+func TestRunnerCancelWhileQueued(t *testing.T) {
+	r := NewRunner(NewMemStore(0, 0), 1, nil, Hooks{})
+	release := make(chan struct{})
+	holding := make(chan struct{})
+	blocker, err := r.Submit("explore", "", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		close(holding)
+		<-release
+		return []byte(`{}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-holding // the slot is taken; the next job must queue
+	var ran atomic.Bool
+	queued, err := r.Submit("explore", "", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		ran.Store(true)
+		return []byte(`{}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.Cancel(queued.ID); !ok {
+		t.Fatal("Cancel(queued) not found")
+	}
+	final := awaitTerminal(t, r, queued.ID)
+	if st := final[len(final)-1].State; st != StateCanceled {
+		t.Fatalf("queued-cancel state = %s", st)
+	}
+	if final[len(final)-1].StartedAt != nil || ran.Load() {
+		t.Fatal("queued-canceled job ran anyway")
+	}
+	close(release)
+	awaitTerminal(t, r, blocker.ID)
+}
+
+func TestRunnerContentKeyRecall(t *testing.T) {
+	var hooks struct{ submitted, completed, hits atomic.Int64 }
+	r := NewRunner(NewMemStore(0, 0), 1, nil, Hooks{
+		Submitted:  func() { hooks.submitted.Add(1) },
+		Completed:  func() { hooks.completed.Add(1) },
+		ResultHits: func() { hooks.hits.Add(1) },
+	})
+	first, err := r.Submit("explore", "key-1", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		return []byte(`{"answer":42}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitTerminal(t, r, first.ID)
+
+	// Same content key: answered from the result tier, fn never runs.
+	second, err := r.Submit("explore", "key-1", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		t.Error("recalled submission ran its fn")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != StateDone || !second.Cached || string(second.Result) != `{"answer":42}` {
+		t.Fatalf("recalled record = %+v", second)
+	}
+	if second.ID == first.ID {
+		t.Fatal("recalled submission reused the original job id")
+	}
+	// The recalled job is itself readable under its own id.
+	if got, ok, _ := r.Get(second.ID); !ok || got.State != StateDone {
+		t.Fatalf("recalled job not readable: ok=%v %+v", ok, got)
+	}
+	if hooks.hits.Load() != 1 || hooks.submitted.Load() != 2 || hooks.completed.Load() != 2 {
+		t.Fatalf("hooks = submitted %d completed %d hits %d",
+			hooks.submitted.Load(), hooks.completed.Load(), hooks.hits.Load())
+	}
+
+	// A different key still runs.
+	third, err := r.Submit("explore", "key-2", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		return []byte(`{"answer":7}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.State != StateQueued {
+		t.Fatalf("fresh key state = %s", third.State)
+	}
+	awaitTerminal(t, r, third.ID)
+}
+
+func TestRunnerFailureMapping(t *testing.T) {
+	mapErr := func(err error) Failure {
+		return Failure{Code: "invalid_options", Message: err.Error(), Field: "sizes"}
+	}
+	r := NewRunner(NewMemStore(0, 0), 1, mapErr, Hooks{})
+	rec, err := r.Submit("explore", "fail-key", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		return nil, errors.New("bad geometry")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := awaitTerminal(t, r, rec.ID)
+	final := seen[len(seen)-1]
+	if final.State != StateFailed || final.Error == nil {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.Error.Code != "invalid_options" || final.Error.Field != "sizes" {
+		t.Fatalf("failure = %+v", final.Error)
+	}
+	// Failed results are never published to the content tier.
+	again, err := r.Submit("explore", "fail-key", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		return []byte(`{}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != StateQueued {
+		t.Fatal("failed result was recalled from the content tier")
+	}
+	awaitTerminal(t, r, again.ID)
+}
+
+func TestRunnerDrain(t *testing.T) {
+	r := NewRunner(NewMemStore(0, 0), 1, nil, Hooks{})
+	release := make(chan struct{})
+	rec, err := r.Submit("explore", "", func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		<-release
+		return []byte(`{}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain blocks on the running job (bounded ctx says so), and new
+	// submissions are rejected.
+	short, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := r.Drain(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with running job = %v", err)
+	}
+	if _, err := r.Submit("explore", "", nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining = %v", err)
+	}
+
+	close(release)
+	ctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatalf("Drain after release: %v", err)
+	}
+	if got, _, _ := r.Get(rec.ID); got.State != StateDone {
+		t.Fatalf("drained job state = %s", got.State)
+	}
+}
+
+func TestRunnerWatchUnknown(t *testing.T) {
+	r := NewRunner(NewMemStore(0, 0), 1, nil, Hooks{})
+	found, err := r.Watch(context.Background(), "nope", func(Record) error { return nil })
+	if found || err != nil {
+		t.Fatalf("Watch(unknown) = %v %v", found, err)
+	}
+	if _, ok, _ := r.Get("nope"); ok {
+		t.Fatal("Get(unknown) found something")
+	}
+	if _, ok, _ := r.Cancel("nope"); ok {
+		t.Fatal("Cancel(unknown) found something")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 32 || seen[id] {
+			t.Fatalf("NewID() = %q (dup=%v)", id, seen[id])
+		}
+		seen[id] = true
+	}
+}
+
+// TestRunnerSlotLimit checks the pool bound: with one slot, two jobs
+// never run concurrently.
+func TestRunnerSlotLimit(t *testing.T) {
+	r := NewRunner(NewMemStore(0, 0), 1, nil, Hooks{})
+	var running, maxRunning atomic.Int64
+	body := func(ctx context.Context, rep *Reporter) ([]byte, error) {
+		n := running.Add(1)
+		for {
+			m := maxRunning.Load()
+			if n <= m || maxRunning.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		running.Add(-1)
+		return []byte(`{}`), nil
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		rec, err := r.Submit("explore", fmt.Sprintf("k%d", i), body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	for _, id := range ids {
+		awaitTerminal(t, r, id)
+	}
+	if maxRunning.Load() != 1 {
+		t.Fatalf("max concurrent jobs = %d, want 1", maxRunning.Load())
+	}
+}

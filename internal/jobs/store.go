@@ -1,0 +1,133 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Store persists job records keyed by id (and, for the shared result
+// tier, by content key — a content key is just another key). Records
+// are stored by value: implementations own their copy, and Get returns
+// a copy the caller may mutate freely. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Put inserts or replaces the record under key.
+	Put(key string, rec Record) error
+	// Get returns the record stored under key, if any.
+	Get(key string) (Record, bool, error)
+	// Delete removes the record under key (no-op when absent).
+	Delete(key string) error
+}
+
+// MemStore is the in-process Store: an LRU-ordered map with a capacity
+// bound and a TTL. Expired entries are dropped lazily on Get and
+// eagerly swept on Put, so a quiet store still releases memory as it is
+// written to.
+type MemStore struct {
+	mu    sync.Mutex
+	cap   int
+	ttl   time.Duration
+	now   func() time.Time // injectable clock for the TTL tests
+	ll    *list.List       // front = most recently used
+	items map[string]*list.Element
+}
+
+type memEntry struct {
+	key     string
+	rec     Record
+	savedAt time.Time
+}
+
+// NewMemStore builds an in-memory store holding at most capacity
+// records (≤ 0 means 256) for at most ttl (≤ 0 means no expiry).
+func NewMemStore(capacity int, ttl time.Duration) *MemStore {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &MemStore{
+		cap:   capacity,
+		ttl:   ttl,
+		now:   time.Now,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// expired reports whether the entry's TTL has lapsed.
+func (s *MemStore) expired(e *memEntry) bool {
+	return s.ttl > 0 && s.now().Sub(e.savedAt) > s.ttl
+}
+
+// Put implements Store, evicting expired entries and then the least
+// recently used ones until the store fits its capacity.
+func (s *MemStore) Put(key string, rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*memEntry)
+		e.rec = rec.Clone()
+		e.savedAt = s.now()
+		s.ll.MoveToFront(el)
+		return nil
+	}
+	s.items[key] = s.ll.PushFront(&memEntry{key: key, rec: rec.Clone(), savedAt: s.now()})
+	// Sweep from the LRU end: expired entries first, then plain LRU
+	// eviction while over capacity.
+	for el := s.ll.Back(); el != nil; {
+		prev := el.Prev()
+		if e := el.Value.(*memEntry); s.expired(e) {
+			s.ll.Remove(el)
+			delete(s.items, e.key)
+		}
+		el = prev
+	}
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*memEntry).key)
+	}
+	return nil
+}
+
+// Get implements Store; an expired entry reads as absent and is dropped.
+func (s *MemStore) Get(key string) (Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return Record{}, false, nil
+	}
+	e := el.Value.(*memEntry)
+	if s.expired(e) {
+		s.ll.Remove(el)
+		delete(s.items, key)
+		return Record{}, false, nil
+	}
+	s.ll.MoveToFront(el)
+	return e.rec.Clone(), true, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.Remove(el)
+		delete(s.items, key)
+	}
+	return nil
+}
+
+// Len reports the number of live (unexpired) records.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		if !s.expired(el.Value.(*memEntry)) {
+			n++
+		}
+	}
+	return n
+}

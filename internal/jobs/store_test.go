@@ -1,0 +1,227 @@
+package jobs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// sampleRecord builds a fully populated record so round-trips exercise
+// every field.
+func sampleRecord(id string) Record {
+	created := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	started := created.Add(time.Second)
+	finished := created.Add(2 * time.Second)
+	return Record{
+		ID:         id,
+		Kind:       "explore",
+		State:      StateDone,
+		Cached:     true,
+		CreatedAt:  created,
+		StartedAt:  &started,
+		FinishedAt: &finished,
+		Progress:   Progress{Records: 10, Chunks: 2, Points: 8, PointsDone: 8, PassUnits: 4, PassUnitsDone: 4},
+		ContentKey: "abc123",
+		Result:     json.RawMessage(`{"points":8}`),
+		Error:      nil,
+	}
+}
+
+// recordsEqual compares records through their canonical JSON, which is
+// also the fidelity the filesystem store guarantees.
+func recordsEqual(t *testing.T, got, want Record) {
+	t.Helper()
+	g, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g) != string(w) {
+		t.Fatalf("record mismatch:\n got %s\nwant %s", g, w)
+	}
+}
+
+// testStoreConformance is the suite both Store implementations must
+// pass identically.
+func testStoreConformance(t *testing.T, s Store) {
+	t.Helper()
+
+	// Missing key reads as absent, not as an error.
+	if _, ok, err := s.Get("missing"); err != nil || ok {
+		t.Fatalf("Get(missing) = ok=%v err=%v, want absent", ok, err)
+	}
+
+	// Round-trip preserves every field.
+	rec := sampleRecord("job-1")
+	if err := s.Put("job-1", rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("job-1")
+	if err != nil || !ok {
+		t.Fatalf("Get(job-1) = ok=%v err=%v", ok, err)
+	}
+	recordsEqual(t, got, rec)
+
+	// The caller may mutate what Get returned without corrupting the
+	// stored copy.
+	got.Progress.Records = 999
+	got.Result[0] = 'X'
+	again, _, _ := s.Get("job-1")
+	recordsEqual(t, again, rec)
+
+	// Put replaces.
+	rec2 := sampleRecord("job-1")
+	rec2.State = StateFailed
+	rec2.Error = &Failure{Code: "internal", Message: "boom"}
+	rec2.Result = nil
+	if err := s.Put("job-1", rec2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Get("job-1")
+	recordsEqual(t, got, rec2)
+
+	// Content keys are ordinary keys.
+	if err := s.Put("content/abc123", rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("content/abc123"); !ok {
+		t.Fatal("content-keyed record not readable")
+	}
+
+	// Delete removes; deleting a missing key is a no-op.
+	if err := s.Delete("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("job-1"); ok {
+		t.Fatal("record readable after Delete")
+	}
+	if err := s.Delete("job-1"); err != nil {
+		t.Fatalf("double Delete: %v", err)
+	}
+}
+
+func TestMemStoreConformance(t *testing.T) {
+	testStoreConformance(t, NewMemStore(0, 0))
+}
+
+func TestFSStoreConformance(t *testing.T) {
+	fs, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreConformance(t, fs)
+}
+
+// TestFSStoreRestart simulates a process restart: a fresh FSStore over
+// the same directory serves everything the previous one persisted.
+func TestFSStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	fs1, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord("survivor")
+	if err := fs1.Put("survivor", rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.Put("content-key", rec); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := NewFSStore(dir) // the "restarted" process
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := fs2.Get("survivor")
+	if err != nil || !ok {
+		t.Fatalf("restarted Get = ok=%v err=%v", ok, err)
+	}
+	recordsEqual(t, got, rec)
+	if _, ok, _ := fs2.Get("content-key"); !ok {
+		t.Fatal("content-keyed result did not survive the restart")
+	}
+}
+
+func TestFSStoreNeedsDir(t *testing.T) {
+	if _, err := NewFSStore(""); err == nil {
+		t.Fatal("NewFSStore(\"\") succeeded")
+	}
+}
+
+// TestMemStoreTTL drives the injectable clock past the TTL and checks
+// lazy (Get) and eager (Put-sweep) expiry.
+func TestMemStoreTTL(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	s := NewMemStore(8, time.Minute)
+	s.now = func() time.Time { return now }
+
+	if err := s.Put("a", sampleRecord("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("a"); !ok {
+		t.Fatal("fresh record absent")
+	}
+
+	now = now.Add(2 * time.Minute)
+	if _, ok, _ := s.Get("a"); ok {
+		t.Fatal("expired record still readable")
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d after expiry, want 0", got)
+	}
+
+	// A Put sweeps other expired entries even when their keys are never
+	// read again.
+	if err := s.Put("b", sampleRecord("b")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if err := s.Put("c", sampleRecord("c")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d after sweep, want just the fresh record", got)
+	}
+
+	// Overwriting refreshes the clock.
+	now = now.Add(30 * time.Second)
+	if err := s.Put("c", sampleRecord("c")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Second) // 75s since first write, 45s since refresh
+	if _, ok, _ := s.Get("c"); !ok {
+		t.Fatal("refreshed record expired on the original clock")
+	}
+}
+
+// TestMemStoreCapacity checks LRU-ordered eviction at the capacity
+// bound.
+func TestMemStoreCapacity(t *testing.T) {
+	s := NewMemStore(2, 0)
+	for _, k := range []string{"a", "b"} {
+		if err := s.Put(k, sampleRecord(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the LRU entry.
+	if _, ok, _ := s.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if err := s.Put("c", sampleRecord("c")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("b"); ok {
+		t.Fatal("LRU entry b survived over-capacity Put")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok, _ := s.Get(k); !ok {
+			t.Fatalf("%s evicted, want b", k)
+		}
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}

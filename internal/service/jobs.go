@@ -1,0 +1,259 @@
+package service
+
+// The async job surface. POST /v1/jobs accepts the same request shapes
+// as the synchronous sweep endpoints — an ExploreRequest JSON body for
+// "explore" jobs, or a raw trace body with a TraceRequest in the
+// X-Memexplore-Options header for "explore-trace" jobs — validates them
+// synchronously (bad requests still fail with their normal envelope and
+// status), and returns 202 with the queued job record. The job then
+// runs on the internal/jobs pool, reporting progress through the core
+// pipeline's per-context observer; clients poll GET /v1/jobs/{id} or
+// stream GET /v1/jobs/{id}/events (SSE) and cancel with DELETE.
+//
+// A job's result is the byte-for-byte body the synchronous endpoint
+// would have written (same response structs, same encoder settings).
+// Completed results are additionally published to the job store under a
+// content key — the hash of everything that determines the result — so
+// resubmitting identical work is answered instantly (Cached=true), and
+// replicas sharing a filesystem store (Config.JobsDir) share that tier.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"memexplore/internal/core"
+	"memexplore/internal/jobs"
+)
+
+// mapJobError converts a job error into its stored Failure using the
+// same table as the synchronous error envelope, so async failures carry
+// exactly the sync error codes.
+func mapJobError(err error) jobs.Failure {
+	_, d := errorDetail(err)
+	return jobs.Failure{Code: d.Code, Message: d.Message, Field: d.Field}
+}
+
+// jobHooks wires the runner's lifecycle into the jobs_* expvars.
+func jobHooks() jobs.Hooks {
+	return jobs.Hooks{
+		Submitted:  func() { vars.jobsSubmitted.Add(1) },
+		Queued:     func(d int64) { vars.jobsQueued.Add(d) },
+		Running:    func(d int64) { vars.jobsRunning.Add(d) },
+		Completed:  func() { vars.jobsCompleted.Add(1) },
+		Failed:     func() { vars.jobsFailed.Add(1) },
+		Canceled:   func() { vars.jobsCanceled.Add(1) },
+		ResultHits: func() { vars.jobsResultHits.Add(1) },
+	}
+}
+
+// marshalResult encodes a job result exactly as writeJSON writes the
+// synchronous response body (same encoder settings, HTML escaping off),
+// minus the trailing newline — embedding as json.RawMessage would strip
+// it anyway. This is what makes an async result byte-comparable to its
+// synchronous twin.
+func marshalResult(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// submitErr maps a Runner.Submit failure to its envelope.
+func submitErr(err error) error {
+	if errors.Is(err, jobs.ErrDraining) {
+		return errDraining()
+	}
+	return err
+}
+
+// unknownJob is the 404 for an id the store has never seen (or has
+// already expired).
+func unknownJob(id string) *requestError {
+	return httpError(http.StatusNotFound, CodeUnknownJob, fmt.Sprintf("no job %q", id), "")
+}
+
+// reportProgress bridges the core pipeline's per-context progress
+// events into the job's reporter.
+func reportProgress(ctx context.Context, rep *jobs.Reporter) context.Context {
+	return core.WithProgress(ctx, func(ev core.ProgressEvent) {
+		rep.Add(ev.Records, ev.Chunks, ev.Points, ev.PassUnits)
+	})
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	vars.requests.Add(1)
+	if s.rejectDraining(w) {
+		return
+	}
+	if r.Header.Get(OptionsHeader) != "" {
+		s.submitTraceJob(w, r)
+		return
+	}
+	s.submitExploreJob(w, r)
+}
+
+// submitExploreJob validates an explore request and queues it.
+func (s *Server) submitExploreJob(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		s.writeError(w, invalidRequest(err))
+		return
+	}
+	if req.Kind == KindExploreTrace {
+		s.writeError(w, httpError(http.StatusBadRequest, CodeInvalidRequest,
+			"explore-trace jobs carry the trace as the request body and their options in the "+OptionsHeader+" header", "kind"))
+		return
+	}
+	if err := checkKind(req.Kind, KindExplore); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, err := resolveExplore(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// The content key hashes everything that determines the result body:
+	// the sweep inputs plus the bounds that shape Best.
+	key := cacheKey("job-explore", p.nest.String(), mustJSON(p.opts),
+		fmt.Sprint(req.CycleBound), fmt.Sprint(req.EnergyBoundNJ))
+	rec, err := s.runner.Submit(KindExplore, key, func(ctx context.Context, rep *jobs.Reporter) ([]byte, error) {
+		plan := p.opts.Plan()
+		rep.SetTotals(int64(plan.Points), int64(plan.PassUnits()))
+		resp, err := s.runExplore(reportProgress(ctx, rep), p, false)
+		if err != nil {
+			return nil, err
+		}
+		return marshalResult(resp)
+	})
+	if err != nil {
+		s.writeError(w, submitErr(err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// submitTraceJob validates a trace submission and queues it. The trace
+// body is buffered now — it belongs to this request and would be gone
+// by the time the job runs — so MaxBodyBytes, not memory, bounds it.
+func (s *Server) submitTraceJob(w http.ResponseWriter, r *http.Request) {
+	tq, err := resolveTraceRequest(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, err) // a MaxBytesError maps to 413 body_too_large
+		return
+	}
+	// Key on the normalized options (before the worker clamp: parallelism
+	// never changes the metrics), ingest limits, bounds, and the trace
+	// bytes themselves.
+	key := cacheKey("job-trace", mustJSON(tq.opts),
+		fmt.Sprint(tq.ing.MaxRecords), fmt.Sprint(tq.ing.SkipMalformed),
+		fmt.Sprint(tq.cycleBound), fmt.Sprint(tq.energyBoundNJ), string(body))
+	tq.opts.Workers = s.traceWorkerCount(tq.workers)
+	rec, err := s.runner.Submit(KindExploreTrace, key, func(ctx context.Context, rep *jobs.Reporter) ([]byte, error) {
+		if plan, perr := core.TraceSweepPlan(tq.opts); perr == nil {
+			rep.SetTotals(int64(plan.Points), int64(plan.PassUnits()))
+		}
+		resp, err := s.runTrace(reportProgress(ctx, rep), bytes.NewReader(body), tq, false)
+		if err != nil {
+			return nil, err
+		}
+		return marshalResult(resp)
+	})
+	if err != nil {
+		s.writeError(w, submitErr(err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	vars.requests.Add(1)
+	id := r.PathValue("id")
+	rec, ok, err := s.runner.Get(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if !ok {
+		s.writeError(w, unknownJob(id))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	vars.requests.Add(1)
+	id := r.PathValue("id")
+	rec, ok, err := s.runner.Cancel(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if !ok {
+		s.writeError(w, unknownJob(id))
+		return
+	}
+	// Cancellation is asynchronous: the record may still say running.
+	// Clients poll or watch the event stream for the canceled state.
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleJobEvents streams a job's record versions as server-sent
+// events: "progress" events while the job is live, then one terminal
+// event named after the final state (done|failed|canceled) carrying the
+// full record — result included — after which the stream ends. Event
+// ids are a per-stream sequence; rapid updates may be coalesced, but
+// the terminal event is always delivered.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	vars.requests.Add(1)
+	id := r.PathValue("id")
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		s.writeError(w, httpError(http.StatusInternalServerError, CodeInternal,
+			"response writer does not support streaming", ""))
+		return
+	}
+	// Probe before committing to the stream so an unknown id is a clean
+	// JSON 404, not a half-open event stream.
+	if _, ok, err := s.runner.Get(id); err != nil || !ok {
+		if err == nil {
+			err = unknownJob(id)
+		}
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	seq := 0
+	_, err := s.runner.Watch(r.Context(), id, func(rec jobs.Record) error {
+		event := "progress"
+		if rec.State.Terminal() {
+			event = string(rec.State)
+		}
+		data, err := marshalResult(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, event, data); err != nil {
+			return err
+		}
+		seq++
+		fl.Flush()
+		return nil
+	})
+	_ = err // client gone or job finished; the stream just ends
+}

@@ -50,6 +50,17 @@ type counters struct {
 	// completed (uncached) sweep: points per simulation pass unit
 	// (inclusion groups + fallback configurations) — a gauge.
 	configsPerPass expvar.Float
+	// Async job subsystem (internal/jobs). Submitted/completed/failed/
+	// canceled are lifetime counters; queued/running are gauges of the
+	// current pool state; resultHits counts submissions answered from the
+	// shared result tier without running a sweep.
+	jobsSubmitted  expvar.Int
+	jobsCompleted  expvar.Int
+	jobsFailed     expvar.Int
+	jobsCanceled   expvar.Int
+	jobsResultHits expvar.Int
+	jobsQueued     expvar.Int
+	jobsRunning    expvar.Int
 }
 
 var vars = func() *counters {
@@ -81,6 +92,13 @@ var vars = func() *counters {
 	m.Set("trace_workers", &c.traceWorkers)
 	m.Set("chunks_inflight", &c.chunksInflight)
 	m.Set("trace_chunk_stall_ms", &c.chunkStall)
+	m.Set("jobs_submitted", &c.jobsSubmitted)
+	m.Set("jobs_completed", &c.jobsCompleted)
+	m.Set("jobs_failed", &c.jobsFailed)
+	m.Set("jobs_canceled", &c.jobsCanceled)
+	m.Set("jobs_result_hits", &c.jobsResultHits)
+	m.Set("jobs_queued", &c.jobsQueued)
+	m.Set("jobs_running", &c.jobsRunning)
 	return c
 }()
 

@@ -1,20 +1,27 @@
 // Package service implements memexplored, the HTTP/JSON daemon that
 // serves MemExplore sweeps as an API (stdlib only). Endpoints:
 //
-//	POST /v1/explore        run (or recall) a sweep for one kernel
-//	POST /v1/explore-trace  stream an external trace through the sweep
-//	POST /v1/aggregate      §5 trip-count-weighted multi-kernel aggregation
-//	GET  /v1/kernels        registered kernel names
-//	GET  /healthz           liveness (503 while draining)
-//	GET  /debug/vars        expvar counters (see metrics.go)
+//	POST   /v1/explore          run (or recall) a sweep for one kernel
+//	POST   /v1/explore-trace    stream an external trace through the sweep
+//	POST   /v1/aggregate        §5 trip-count-weighted multi-kernel aggregation
+//	POST   /v1/jobs             submit an async sweep job (202 + id)
+//	GET    /v1/jobs/{id}        job status, progress and result
+//	DELETE /v1/jobs/{id}        cancel a running job
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/kernels          registered kernel names
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /debug/vars          expvar counters (see metrics.go)
 //
 // Sweeps run on a bounded worker pool via core.ExploreParallelContext
 // with the request context threaded through, so client disconnects and
 // deadlines cancel work between config points. Completed results are
 // kept in a content-addressed LRU cache keyed by the canonical hash of
 // (kernel source, normalized options); identical queries are answered
-// from memory. Shutdown drains in-flight sweeps while new work is
-// rejected with 503. See docs/SERVICE.md for the wire reference.
+// from memory. Async jobs run on a second bounded pool (internal/jobs)
+// whose terminal records land in a Store — in-memory by default, a
+// shareable filesystem directory with Config.JobsDir. Shutdown drains
+// in-flight sweeps and accepted jobs while new work is rejected with
+// 503. See docs/SERVICE.md for the wire reference.
 package service
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"memexplore/internal/core"
+	"memexplore/internal/jobs"
 	"memexplore/internal/kernels"
 	"memexplore/internal/loopir"
 )
@@ -55,6 +63,20 @@ type Config struct {
 	CacheEntries int
 	// MaxBodyBytes bounds request bodies. Default 8 MiB.
 	MaxBodyBytes int64
+	// MaxConcurrentJobs bounds the async job-runner pool: at most this
+	// many jobs execute at once, the rest wait in queued state.
+	// Default 2.
+	MaxConcurrentJobs int
+	// JobTTL is how long terminal job records stay readable in the
+	// in-memory job store. Default 15 minutes. Ignored with JobsDir.
+	JobTTL time.Duration
+	// JobCapacity bounds the in-memory job store. Default 256 records.
+	// Ignored with JobsDir.
+	JobCapacity int
+	// JobsDir, when set, stores terminal job records and content-keyed
+	// results as files under this directory instead of in memory — a
+	// directory shared by several replicas becomes a shared result tier.
+	JobsDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -67,35 +89,72 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxConcurrentJobs <= 0 {
+		c.MaxConcurrentJobs = 2
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.JobCapacity <= 0 {
+		c.JobCapacity = 256
+	}
 	return c
 }
 
 // Server is the memexplored HTTP handler plus its worker pool, result
-// cache and drain state. Create with New; it is safe for concurrent use.
+// cache, async job runner and drain state. Create with New; it is safe
+// for concurrent use.
 type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	cache    *resultCache
 	sem      chan struct{}
+	runner   *jobs.Runner
 	draining atomic.Bool
 	inflight sync.WaitGroup
 }
 
-// New builds a Server with the given configuration.
-func New(cfg Config) *Server {
+// New builds a Server with the given configuration. It fails only when
+// Config.JobsDir is set but unusable.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var store jobs.Store
+	if cfg.JobsDir != "" {
+		fs, err := jobs.NewFSStore(cfg.JobsDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening job store: %w", err)
+		}
+		store = fs
+	} else {
+		store = jobs.NewMemStore(cfg.JobCapacity, cfg.JobTTL)
+	}
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
 		cache: newResultCache(cfg.CacheEntries),
 		sem:   make(chan struct{}, cfg.MaxConcurrentSweeps),
 	}
+	s.runner = jobs.NewRunner(store, cfg.MaxConcurrentJobs, mapJobError, jobHooks())
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	s.mux.HandleFunc("POST /v1/explore-trace", s.handleExploreTrace)
 	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s, nil
+}
+
+// MustNew is New for callers with a statically valid configuration
+// (tests, the bench harness); it panics on error.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -107,11 +166,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Shutdown starts draining: new sweep requests are rejected with 503
-// while in-flight sweeps run to completion. It returns when every
-// in-flight request has finished or ctx expires (then ctx.Err()).
-// Callers cancel the still-running sweeps by canceling the base context
-// of their http.Server, or simply by closing client connections.
+// Shutdown starts draining: new sweep requests and job submissions are
+// rejected with 503 while in-flight sweeps and accepted jobs (queued or
+// running) run to completion. It returns when everything has finished
+// or ctx expires (then ctx.Err()). Callers cancel still-running sync
+// sweeps by canceling the base context of their http.Server or closing
+// client connections; running jobs finish on their own (cancel them
+// individually via DELETE /v1/jobs/{id} for a hard stop).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
@@ -121,10 +182,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	return s.runner.Drain(ctx)
 }
 
 // Draining reports whether Shutdown has been called.
@@ -132,10 +193,22 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // --- wire types -------------------------------------------------------
 
-// ExploreRequest is the POST /v1/explore body. Exactly one of Kernel (a
-// registered name) or Source (inline loop-nest text, the Nest.String
-// grammar) selects the workload.
+// Job and request kinds — the "kind" discriminator of the shared wire
+// forms. A synchronous endpoint accepts its own kind (or none); the
+// jobs endpoint dispatches on it.
+const (
+	KindExplore      = "explore"
+	KindExploreTrace = "explore-trace"
+)
+
+// ExploreRequest is the POST /v1/explore body and (as the "explore"
+// kind) the POST /v1/jobs body. Exactly one of Kernel (a registered
+// name) or Source (inline loop-nest text, the Nest.String grammar)
+// selects the workload.
 type ExploreRequest struct {
+	// Kind optionally names the request shape; "explore" here. The jobs
+	// endpoint dispatches on it, the sync endpoint merely checks it.
+	Kind   string `json:"kind,omitempty"`
 	Kernel string `json:"kernel,omitempty"`
 	Source string `json:"source,omitempty"`
 	// Options overrides DefaultOptions field-by-field: absent fields keep
@@ -158,10 +231,11 @@ type Best struct {
 	MinCyclesUnderEnergyBound *core.Metrics `json:"min_cycles_under_energy_bound,omitempty"`
 }
 
-// ExploreResponse is the POST /v1/explore reply.
+// ExploreResponse is the POST /v1/explore reply (and, marshaled, the
+// result body of an "explore" job).
 type ExploreResponse struct {
+	ResultMeta
 	Kernel  string         `json:"kernel"`
-	Cached  bool           `json:"cached"`
 	Points  int            `json:"points"`
 	Metrics []core.Metrics `json:"metrics"`
 	Best    Best           `json:"best"`
@@ -187,7 +261,7 @@ type AggregateRequest struct {
 // per-kernel optima); Program carries the trip-weighted whole-program
 // sweep.
 type AggregateResponse struct {
-	Cached        bool                    `json:"cached"`
+	ResultMeta
 	Points        int                     `json:"points"`
 	Program       []core.Metrics          `json:"program"`
 	Best          Best                    `json:"best"`
@@ -236,35 +310,74 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	var req ExploreRequest
 	if err := decodeBody(r.Body, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "invalid_request", err.Error(), "")
+		s.writeError(w, invalidRequest(err))
 		return
 	}
-	nest, ok := s.resolveNest(w, req.Kernel, req.Source)
-	if !ok {
+	if err := checkKind(req.Kind, KindExplore); err != nil {
+		s.writeError(w, err)
 		return
 	}
-	opts, ok := s.resolveOptions(w, req.Options)
-	if !ok {
+	p, err := resolveExplore(req)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
+	resp, err := s.runExplore(r.Context(), p, true)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
 
-	key := cacheKey("explore", nest.String(), mustJSON(opts))
-	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, sweepStats, error) {
-		ms, err := core.ExploreParallelContext(ctx, nest, opts, s.cfg.SweepWorkers)
-		return ms, planStats(opts.Plan(), 1), err
+// exploreParams is a resolved explore request: the validated nest and
+// normalized options plus the cache key they hash to — everything a
+// sweep needs, computed up front so async submissions can reject bad
+// requests synchronously.
+type exploreParams struct {
+	req  ExploreRequest
+	nest *loopir.Nest
+	opts core.Options
+	key  string
+}
+
+// resolveExplore validates an explore request into its parameters.
+func resolveExplore(req ExploreRequest) (exploreParams, error) {
+	nest, err := resolveNest(req.Kernel, req.Source)
+	if err != nil {
+		return exploreParams{}, err
+	}
+	opts, err := resolveOptions(req.Options)
+	if err != nil {
+		return exploreParams{}, err
+	}
+	return exploreParams{
+		req:  req,
+		nest: nest,
+		opts: opts,
+		key:  cacheKey("explore", nest.String(), mustJSON(opts)),
+	}, nil
+}
+
+// runExplore executes one explore sweep end-to-end — cache, worker
+// pool, selection optima, envelope. The sync handler and the async job
+// body both call it, which is what keeps their results identical.
+func (s *Server) runExplore(ctx context.Context, p exploreParams, tracked bool) (*ExploreResponse, error) {
+	res, cached, err := s.sweep(ctx, p.key, tracked, func(ctx context.Context) (any, sweepStats, error) {
+		ms, err := core.ExploreParallelContext(ctx, p.nest, p.opts, s.cfg.SweepWorkers)
+		return ms, planStats(p.opts.Plan(), 1), err
 	})
 	if err != nil {
-		s.failSweep(w, err)
-		return
+		return nil, err
 	}
 	ms := res.([]core.Metrics)
-	writeJSON(w, http.StatusOK, ExploreResponse{
-		Kernel:  nest.Name,
-		Cached:  cached,
-		Points:  len(ms),
-		Metrics: ms,
-		Best:    bestOf(ms, req.CycleBound, req.EnergyBoundNJ),
-	})
+	return &ExploreResponse{
+		ResultMeta: resultMeta(cached, p.opts, p.opts.Plan(), 1),
+		Kernel:     p.nest.Name,
+		Points:     len(ms),
+		Metrics:    ms,
+		Best:       bestOf(ms, p.req.CycleBound, p.req.EnergyBoundNJ),
+	}, nil
 }
 
 // aggregateResult is the cacheable part of an aggregate reply.
@@ -283,36 +396,39 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req AggregateRequest
 	if err := decodeBody(r.Body, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, "invalid_request", err.Error(), "")
+		s.writeError(w, invalidRequest(err))
 		return
 	}
 	if len(req.Kernels) == 0 {
-		s.fail(w, http.StatusBadRequest, "invalid_request", "kernels must list at least one weighted kernel", "")
+		s.writeError(w, httpError(http.StatusBadRequest, CodeInvalidRequest,
+			"kernels must list at least one weighted kernel", ""))
 		return
 	}
 	ws := make([]core.WeightedKernel, 0, len(req.Kernels))
 	keyParts := []string{"aggregate"}
 	for i, k := range req.Kernels {
-		nest, ok := s.resolveNest(w, k.Kernel, k.Source)
-		if !ok {
+		nest, err := resolveNest(k.Kernel, k.Source)
+		if err != nil {
+			s.writeError(w, err)
 			return
 		}
 		if k.Trip <= 0 {
-			s.fail(w, http.StatusBadRequest, "invalid_request",
-				fmt.Sprintf("kernels[%d]: trip must be positive, got %d", i, k.Trip), "")
+			s.writeError(w, httpError(http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Sprintf("kernels[%d]: trip must be positive, got %d", i, k.Trip), ""))
 			return
 		}
 		ws = append(ws, core.WeightedKernel{Nest: nest, Trip: k.Trip})
 		keyParts = append(keyParts, nest.String(), fmt.Sprint(k.Trip))
 	}
-	opts, ok := s.resolveOptions(w, req.Options)
-	if !ok {
+	opts, err := resolveOptions(req.Options)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
 	keyParts = append(keyParts, mustJSON(opts))
 
 	key := cacheKey(keyParts...)
-	res, cached, err := s.sweep(r.Context(), key, func(ctx context.Context) (any, sweepStats, error) {
+	res, cached, err := s.sweep(r.Context(), key, true, func(ctx context.Context) (any, sweepStats, error) {
 		program, perKernel, err := core.AggregateContext(ctx, ws, opts)
 		if err != nil {
 			return nil, sweepStats{}, err
@@ -327,12 +443,12 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return agg, planStats(opts.Plan(), len(ws)), nil
 	})
 	if err != nil {
-		s.failSweep(w, err)
+		s.writeError(w, err)
 		return
 	}
 	agg := res.(*aggregateResult)
 	writeJSON(w, http.StatusOK, AggregateResponse{
-		Cached:        cached,
+		ResultMeta:    resultMeta(cached, opts, opts.Plan(), len(ws)),
 		Points:        len(agg.program),
 		Program:       agg.program,
 		Best:          bestOf(agg.program, req.CycleBound, req.EnergyBoundNJ),
@@ -357,66 +473,69 @@ func decodeBody(body io.Reader, dst any) error {
 	return nil
 }
 
-// resolveNest turns a (kernel, source) pair into a validated nest,
-// writing the error response itself when it fails.
-func (s *Server) resolveNest(w http.ResponseWriter, kernel, source string) (*loopir.Nest, bool) {
+// invalidRequest wraps a body-decode failure in its envelope.
+func invalidRequest(err error) *requestError {
+	return httpError(http.StatusBadRequest, CodeInvalidRequest, err.Error(), "")
+}
+
+// checkKind validates the "kind" discriminator of a request against the
+// endpoint's expected kind; absent is accepted.
+func checkKind(got, want string) error {
+	if got != "" && got != want {
+		return httpError(http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("kind %q does not match this endpoint (want %q)", got, want), "kind")
+	}
+	return nil
+}
+
+// resolveNest turns a (kernel, source) pair into a validated nest.
+func resolveNest(kernel, source string) (*loopir.Nest, error) {
 	switch {
 	case kernel != "" && source != "":
-		s.fail(w, http.StatusBadRequest, "invalid_request", "set exactly one of kernel and source, not both", "")
-		return nil, false
+		return nil, httpError(http.StatusBadRequest, CodeInvalidRequest, "set exactly one of kernel and source, not both", "")
 	case kernel != "":
 		nest, err := kernels.ByName(kernel)
 		if err != nil {
 			if errors.Is(err, kernels.ErrUnknownKernel) {
-				s.fail(w, http.StatusNotFound, "unknown_kernel", err.Error(), "")
-			} else {
-				s.fail(w, http.StatusBadRequest, "invalid_request", err.Error(), "")
+				return nil, err // errorDetail maps this to 404 unknown_kernel
 			}
-			return nil, false
+			return nil, httpError(http.StatusBadRequest, CodeInvalidRequest, err.Error(), "")
 		}
-		return nest, true
+		return nest, nil
 	case source != "":
 		nest, err := loopir.Parse(source)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "invalid_kernel", err.Error(), "")
-			return nil, false
+			return nil, httpError(http.StatusBadRequest, CodeInvalidKernel, err.Error(), "")
 		}
 		if err := nest.Validate(); err != nil {
-			s.fail(w, http.StatusBadRequest, "invalid_kernel", err.Error(), "")
-			return nil, false
+			return nil, httpError(http.StatusBadRequest, CodeInvalidKernel, err.Error(), "")
 		}
-		return nest, true
+		return nest, nil
 	default:
-		s.fail(w, http.StatusBadRequest, "invalid_request", "set one of kernel (registered name) or source (inline loop nest)", "")
-		return nil, false
+		return nil, httpError(http.StatusBadRequest, CodeInvalidRequest, "set one of kernel (registered name) or source (inline loop nest)", "")
 	}
 }
 
 // resolveOptions overlays the raw options onto DefaultOptions, then
-// normalizes and validates, writing the error response itself on failure.
-// The normalized form is what the sweep runs with AND what the cache key
-// hashes, so wire-equivalent requests share cache entries.
-func (s *Server) resolveOptions(w http.ResponseWriter, raw json.RawMessage) (core.Options, bool) {
+// normalizes and validates. The normalized form is what the sweep runs
+// with AND what the cache key hashes, so wire-equivalent requests share
+// cache entries. Validation failures surface as *core.ErrInvalidOptions
+// for errorDetail to map.
+func resolveOptions(raw json.RawMessage) (core.Options, error) {
 	opts := core.DefaultOptions()
 	if len(raw) > 0 {
 		dec := json.NewDecoder(strings.NewReader(string(raw)))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&opts); err != nil {
-			s.fail(w, http.StatusBadRequest, "invalid_options", fmt.Sprintf("decoding options: %v", err), "")
-			return core.Options{}, false
+			return core.Options{}, httpError(http.StatusBadRequest, CodeInvalidOptions,
+				fmt.Sprintf("decoding options: %v", err), "")
 		}
 	}
 	opts = opts.Normalize()
 	if err := opts.Validate(); err != nil {
-		var inv *core.ErrInvalidOptions
-		if errors.As(err, &inv) {
-			s.fail(w, http.StatusBadRequest, "invalid_options", inv.Reason, inv.Field)
-		} else {
-			s.fail(w, http.StatusBadRequest, "invalid_options", err.Error(), "")
-		}
-		return core.Options{}, false
+		return core.Options{}, err
 	}
-	return opts, true
+	return opts, nil
 }
 
 // sweepStats is what a completed sweep reports for the expvar counters:
@@ -445,9 +564,12 @@ func planStats(plan core.SweepPlan, kernels int) sweepStats {
 }
 
 // sweep serves a cache hit, or acquires a worker-pool slot and runs fn
-// under the request context. fn reports the points/workloads it
-// evaluated for the expvar counters. Results are cached only on success.
-func (s *Server) sweep(ctx context.Context, key string, fn func(context.Context) (any, sweepStats, error)) (res any, cached bool, err error) {
+// under the given context. fn reports the points/workloads it evaluated
+// for the expvar counters. Results are cached only on success. tracked
+// requests join the Shutdown drain group; job bodies pass false because
+// the job runner already tracks them (and adding to the drain group
+// after Shutdown started waiting on it would be a WaitGroup misuse).
+func (s *Server) sweep(ctx context.Context, key string, tracked bool, fn func(context.Context) (any, sweepStats, error)) (res any, cached bool, err error) {
 	if v, ok := s.cache.Get(key); ok {
 		vars.cacheHits.Add(1)
 		return v, true, nil
@@ -461,8 +583,10 @@ func (s *Server) sweep(ctx context.Context, key string, fn func(context.Context)
 	}
 	defer func() { <-s.sem }()
 
-	s.inflight.Add(1)
-	defer s.inflight.Done()
+	if tracked {
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+	}
 	vars.inFlight.Add(1)
 	defer vars.inFlight.Add(-1)
 
@@ -487,34 +611,18 @@ func (s *Server) sweep(ctx context.Context, key string, fn func(context.Context)
 	return res, false, nil
 }
 
+// errDraining is the 503 rejection Shutdown puts in front of new work.
+func errDraining() *requestError {
+	return httpError(http.StatusServiceUnavailable, CodeDraining, "server is shutting down, not accepting new work", "")
+}
+
 // rejectDraining writes the 503 drain response and reports whether it did.
 func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	if !s.draining.Load() {
 		return false
 	}
-	s.fail(w, http.StatusServiceUnavailable, "draining", "server is shutting down, not accepting new sweeps", "")
+	s.writeError(w, errDraining())
 	return true
-}
-
-// failSweep maps a sweep error to its transport status.
-func (s *Server) failSweep(w http.ResponseWriter, err error) {
-	var inv *core.ErrInvalidOptions
-	switch {
-	case errors.Is(err, core.ErrCanceled):
-		vars.canceled.Add(1)
-		// The client has usually disconnected; the write is best-effort.
-		writeJSON(w, StatusClientClosedRequest, ErrorBody{Error: ErrorDetail{Code: "canceled", Message: err.Error()}})
-	case errors.As(err, &inv):
-		s.fail(w, http.StatusBadRequest, "invalid_options", inv.Reason, inv.Field)
-	default:
-		s.fail(w, http.StatusInternalServerError, "internal", err.Error(), "")
-	}
-}
-
-// fail writes the error envelope and bumps the failure counter.
-func (s *Server) fail(w http.ResponseWriter, status int, code, message, field string) {
-	vars.failed.Add(1)
-	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: message, Field: field}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

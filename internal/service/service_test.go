@@ -18,7 +18,7 @@ const tinyOptionsJSON = `{"cache_sizes":[32,64],"line_sizes":[4,8],"assocs":[1],
 
 func newTestServer(t *testing.T) *Server {
 	t.Helper()
-	return New(Config{MaxConcurrentSweeps: 2, CacheEntries: 8})
+	return MustNew(Config{MaxConcurrentSweeps: 2, CacheEntries: 8})
 }
 
 func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
@@ -224,7 +224,7 @@ func TestExploreClientDisconnectCancelsSweep(t *testing.T) {
 }
 
 func TestConcurrentExploreSharedCache(t *testing.T) {
-	s := New(Config{MaxConcurrentSweeps: 4, CacheEntries: 8})
+	s := MustNew(Config{MaxConcurrentSweeps: 4, CacheEntries: 8})
 	const n = 12
 	bodies := []string{
 		`{"kernel":"compress","options":` + tinyOptionsJSON + `}`,

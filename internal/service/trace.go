@@ -4,11 +4,14 @@ package service
 // endpoints the request body IS the trace — textual din or mxt binary,
 // gzip transparently detected — streamed straight into the single-pass
 // batched sweep without ever being materialized, so the body-size limit
-// (not memory) bounds the trace. Sweep options ride in the query string.
+// (not memory) bounds the trace. Sweep options ride in the
+// X-Memexplore-Options header as a TraceRequest JSON document; the
+// query-string form is kept as a deprecated alias. Supplying both is a
+// conflicting_options error.
 
 import (
 	"context"
-	"errors"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,16 +25,45 @@ import (
 	"memexplore/internal/extrace"
 )
 
-// TraceExploreResponse is the POST /v1/explore-trace reply: one Metrics
+// OptionsHeader carries a TraceRequest JSON document on endpoints whose
+// request body is the trace itself and therefore cannot hold options.
+const OptionsHeader = "X-Memexplore-Options"
+
+// TraceRequest is the JSON options form of a trace sweep — the
+// X-Memexplore-Options header value on /v1/explore-trace and on trace
+// job submissions. Options goes through the same decoder as the JSON
+// endpoints (full core.Options overlay, unknown fields rejected), which
+// the query-string alias cannot express.
+type TraceRequest struct {
+	// Kind optionally names the request shape; "explore-trace" here.
+	Kind string `json:"kind,omitempty"`
+	// Options overrides DefaultOptions field-by-field, exactly as in
+	// ExploreRequest.
+	Options json.RawMessage `json:"options,omitempty"`
+	// MaxRecords/SkipMalformed configure trace ingest (extrace.Options).
+	MaxRecords    int64 `json:"max_records,omitempty"`
+	SkipMalformed bool  `json:"skip_malformed,omitempty"`
+	// CycleBound/EnergyBoundNJ add the paper's bounded selections.
+	CycleBound    float64 `json:"cycle_bound,omitempty"`
+	EnergyBoundNJ float64 `json:"energy_bound_nj,omitempty"`
+	// Workers requests a simulation worker count (0 = server default);
+	// clamped to the server-side cap.
+	Workers int `json:"workers,omitempty"`
+}
+
+// TraceExploreResponse is the POST /v1/explore-trace reply (and,
+// marshaled, the result body of an "explore-trace" job): one Metrics
 // per (T, L, S) configuration plus the ingest-time profile of the trace.
 type TraceExploreResponse struct {
+	ResultMeta
 	Points  int                 `json:"points"`
 	Metrics []core.Metrics      `json:"metrics"`
 	Best    Best                `json:"best"`
 	Ingest  extrace.IngestStats `json:"ingest"`
 }
 
-// traceQuery is the decoded query string of an explore-trace request.
+// traceQuery is the resolved option set of an explore-trace request,
+// whichever wire form it arrived in.
 type traceQuery struct {
 	opts          core.Options
 	ing           extrace.Options
@@ -43,11 +75,54 @@ type traceQuery struct {
 	workers int
 }
 
-// parseTraceQuery decodes the query parameters strictly: unknown keys and
-// malformed values are errors, mirroring decodeBody's unknown-field
-// policy. Recognized keys: sizes, lines, assocs (comma-separated ints),
-// em (main-memory nJ/access), max_records, skip_malformed,
-// cycle_bound, energy_bound_nj, workers.
+// resolveTraceRequest decodes a trace sweep's options from the
+// X-Memexplore-Options header (the v1 form) or the query string (the
+// deprecated alias). Supplying both is rejected rather than resolved by
+// precedence: silently preferring one would mask a client bug.
+func resolveTraceRequest(r *http.Request) (traceQuery, error) {
+	header := r.Header.Get(OptionsHeader)
+	if header == "" {
+		return parseTraceQuery(r.URL.Query())
+	}
+	if len(r.URL.Query()) > 0 {
+		return traceQuery{}, httpError(http.StatusBadRequest, CodeConflictingOptions,
+			"sweep options supplied both in the "+OptionsHeader+" header and the query string; use the header", "")
+	}
+	var tr TraceRequest
+	if err := decodeBody(strings.NewReader(header), &tr); err != nil {
+		return traceQuery{}, httpError(http.StatusBadRequest, CodeInvalidOptions,
+			OptionsHeader+" header: "+err.Error(), "")
+	}
+	return resolveTraceOptions(tr)
+}
+
+// resolveTraceOptions converts the JSON options form into a traceQuery
+// through the same options decoder the JSON endpoints use.
+func resolveTraceOptions(tr TraceRequest) (traceQuery, error) {
+	if err := checkKind(tr.Kind, KindExploreTrace); err != nil {
+		return traceQuery{}, err
+	}
+	if tr.Workers < 0 {
+		return traceQuery{}, &core.ErrInvalidOptions{Field: "workers", Reason: "workers must be ≥ 0 (0 = server default)"}
+	}
+	opts, err := resolveOptions(tr.Options)
+	if err != nil {
+		return traceQuery{}, err
+	}
+	return traceQuery{
+		opts:          opts,
+		ing:           extrace.Options{MaxRecords: tr.MaxRecords, SkipMalformed: tr.SkipMalformed},
+		cycleBound:    tr.CycleBound,
+		energyBoundNJ: tr.EnergyBoundNJ,
+		workers:       tr.Workers,
+	}, nil
+}
+
+// parseTraceQuery decodes the deprecated query-string alias strictly:
+// unknown keys and malformed values are errors, mirroring decodeBody's
+// unknown-field policy. Recognized keys: sizes, lines, assocs
+// (comma-separated ints), em (main-memory nJ/access), max_records,
+// skip_malformed, cycle_bound, energy_bound_nj, workers.
 func parseTraceQuery(q url.Values) (traceQuery, error) {
 	tq := traceQuery{opts: core.DefaultOptions()}
 	for key, vals := range q {
@@ -116,49 +191,20 @@ func (s *Server) handleExploreTrace(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) {
 		return
 	}
-	tq, err := parseTraceQuery(r.URL.Query())
+	tq, err := resolveTraceRequest(r)
 	if err != nil {
-		var inv *core.ErrInvalidOptions
-		errors.As(err, &inv)
-		s.fail(w, http.StatusBadRequest, "invalid_options", inv.Reason, inv.Field)
+		s.writeError(w, err)
 		return
 	}
-
 	// Resolve the worker count here so the engine's observer reports the
 	// actual shard count through the trace_workers gauge.
 	tq.opts.Workers = s.traceWorkerCount(tq.workers)
-
-	// Trace sweeps use the worker pool like every sweep, but skip the
-	// result cache: the trace streams through once and is never held, so
-	// there is nothing content-addressable to key on.
-	ms, st, err := s.traceSweep(r.Context(), r.Body, tq)
-	vars.traceBytesRead.Add(st.BytesRead)
-	vars.traceRecords.Add(st.Records)
-	vars.traceRejects.Add(st.Rejects)
+	resp, err := s.runTrace(r.Context(), r.Body, tq, true)
 	if err != nil {
-		s.failTraceSweep(w, err)
+		s.writeError(w, err)
 		return
 	}
-	vars.points.Add(int64(len(ms)))
-	vars.workloads.Add(1) // one pass over one external trace
-	if saved := len(ms) - 1; saved > 0 {
-		vars.passesSaved.Add(int64(saved))
-	}
-	if plan, perr := core.TraceSweepPlan(tq.opts); perr == nil {
-		vars.inclusionGroups.Add(int64(plan.InclusionGroups))
-		if u := plan.PassUnits(); u > 0 {
-			vars.configsPerPass.Set(float64(plan.Points) / float64(u))
-		}
-	}
-	if secs := time.Since(start).Seconds(); secs > 0 {
-		vars.lastPointsPerSec.Set(float64(len(ms)) / secs)
-	}
-	writeJSON(w, http.StatusOK, TraceExploreResponse{
-		Points:  len(ms),
-		Metrics: ms,
-		Best:    bestOf(ms, tq.cycleBound, tq.energyBoundNJ),
-		Ingest:  st,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // traceWorkerCount resolves the simulation worker count of one trace
@@ -176,9 +222,45 @@ func (s *Server) traceWorkerCount(requested int) int {
 	return requested
 }
 
-// traceSweep runs the streaming sweep under a worker-pool slot with the
-// drain bookkeeping of sweep(); the body is consumed inside the slot.
-func (s *Server) traceSweep(ctx context.Context, body io.Reader, tq traceQuery) ([]core.Metrics, extrace.IngestStats, error) {
+// runTrace executes one streaming trace sweep end-to-end — worker pool,
+// expvar accounting, envelope. The sync handler and the async job body
+// both call it, which is what keeps their results byte-identical.
+func (s *Server) runTrace(ctx context.Context, body io.Reader, tq traceQuery, tracked bool) (*TraceExploreResponse, error) {
+	begin := time.Now()
+	ms, st, err := s.traceSweep(ctx, body, tq, tracked)
+	if err != nil {
+		return nil, err
+	}
+	vars.points.Add(int64(len(ms)))
+	vars.workloads.Add(1) // one pass over one external trace
+	if saved := len(ms) - 1; saved > 0 {
+		vars.passesSaved.Add(int64(saved))
+	}
+	meta := ResultMeta{Engine: core.EngineBatched.String()}
+	if plan, perr := core.TraceSweepPlan(tq.opts); perr == nil {
+		vars.inclusionGroups.Add(int64(plan.InclusionGroups))
+		if u := plan.PassUnits(); u > 0 {
+			vars.configsPerPass.Set(float64(plan.Points) / float64(u))
+		}
+		meta = resultMeta(false, tq.opts, plan, 1)
+	}
+	if secs := time.Since(begin).Seconds(); secs > 0 {
+		vars.lastPointsPerSec.Set(float64(len(ms)) / secs)
+	}
+	return &TraceExploreResponse{
+		ResultMeta: meta,
+		Points:     len(ms),
+		Metrics:    ms,
+		Best:       bestOf(ms, tq.cycleBound, tq.energyBoundNJ),
+		Ingest:     st,
+	}, nil
+}
+
+// traceSweep runs the streaming sweep under a worker-pool slot; the body
+// is consumed inside the slot. Ingest counters are recorded here so even
+// failed sweeps account the bytes and records they consumed. tracked has
+// the same meaning as in sweep().
+func (s *Server) traceSweep(ctx context.Context, body io.Reader, tq traceQuery, tracked bool) ([]core.Metrics, extrace.IngestStats, error) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -186,32 +268,16 @@ func (s *Server) traceSweep(ctx context.Context, body io.Reader, tq traceQuery) 
 	}
 	defer func() { <-s.sem }()
 
-	s.inflight.Add(1)
-	defer s.inflight.Done()
+	if tracked {
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+	}
 	vars.inFlight.Add(1)
 	defer vars.inFlight.Add(-1)
 
-	return core.ExploreTraceReader(ctx, body, tq.opts, tq.ing)
-}
-
-// failTraceSweep maps a trace-sweep error to its transport status:
-// oversized bodies are 413, malformed traces and ingest-limit violations
-// are 400 with the parse location in the message, cancellation is 499.
-func (s *Server) failTraceSweep(w http.ResponseWriter, err error) {
-	var (
-		tooBig *http.MaxBytesError
-		perr   *extrace.ParseError
-	)
-	switch {
-	case errors.As(err, &tooBig):
-		s.fail(w, http.StatusRequestEntityTooLarge, "body_too_large", err.Error(), "")
-	case errors.As(err, &perr):
-		s.fail(w, http.StatusBadRequest, "invalid_trace", perr.Error(), "")
-	case errors.Is(err, extrace.ErrRecordLimit):
-		s.fail(w, http.StatusBadRequest, "record_limit", err.Error(), "")
-	case errors.Is(err, core.ErrEmptyTrace):
-		s.fail(w, http.StatusBadRequest, "empty_trace", err.Error(), "")
-	default:
-		s.failSweep(w, err)
-	}
+	ms, st, err := core.ExploreTraceReader(ctx, body, tq.opts, tq.ing)
+	vars.traceBytesRead.Add(st.BytesRead)
+	vars.traceRecords.Add(st.Records)
+	vars.traceRejects.Add(st.Rejects)
+	return ms, st, err
 }

@@ -142,7 +142,7 @@ func TestExploreTraceSkipMalformed(t *testing.T) {
 }
 
 func TestExploreTraceBodyTooLarge(t *testing.T) {
-	s := New(Config{MaxBodyBytes: 64})
+	s := MustNew(Config{MaxBodyBytes: 64})
 	w := postTrace(t, s, traceQueryString, bytes.Repeat([]byte("0 10\n"), 100))
 	if w.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, body %s", w.Code, w.Body)
@@ -220,7 +220,7 @@ func TestExploreTraceDraining(t *testing.T) {
 // the actual shard count through the trace_workers gauge, and the
 // pipeline's ring drains back to empty after every request.
 func TestExploreTraceWorkersParam(t *testing.T) {
-	s := New(Config{MaxConcurrentSweeps: 2, SweepWorkers: 4, CacheEntries: 8})
+	s := MustNew(Config{MaxConcurrentSweeps: 2, SweepWorkers: 4, CacheEntries: 8})
 	din := kernelDin(t)
 
 	inflightBefore := vars.chunksInflight.Value()
