@@ -22,6 +22,7 @@ test:
 check: build vet test
 	$(GO) test -race ./internal/service ./internal/jobs ./internal/core ./internal/cachesim ./internal/extrace
 	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseDin -fuzztime 5s
+	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseBinaryV2 -fuzztime 5s
 
 # Run the memexplored HTTP service (see docs/SERVICE.md).
 serve:
@@ -40,11 +41,13 @@ bench:
 bench-sweep:
 	$(GO) test -run '^$$' -bench BenchmarkExploreSweep -benchmem -count 3 . | tee BENCH_sweep.out
 
-# The external-trace ingestion pipeline (din text → streaming sweep) at
-# workers = 1 / 2 / NumCPU; the raw runs land in BENCH_trace.out for
-# curation into BENCH_trace.json.
+# The external-trace ingestion pipeline: din text → streaming sweep at
+# workers = 1 / 2 / NumCPU, plus the billion-record levers (columnar mxt
+# v2 decode, SHARDS sampling at R=0.01, dominant-block prefiltering)
+# against the exact din baseline; the raw runs land in BENCH_trace.out
+# for curation into BENCH_trace.json.
 bench-trace:
-	$(GO) test -run '^$$' -bench BenchmarkExploreDinTrace -benchmem -count 3 . | tee BENCH_trace.out
+	$(GO) test -run '^$$' -bench 'BenchmarkExploreDinTrace|BenchmarkExploreTraceSampled' -benchmem -count 3 . | tee BENCH_trace.out
 
 # Service-level load test: p50/p99 latencies of the synchronous
 # /v1/explore endpoint and the async job pipeline against an in-process
@@ -71,6 +74,7 @@ fuzz:
 	$(GO) test ./internal/loopir -fuzz FuzzParseExpr -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzReadDin -fuzztime 30s
 	$(GO) test ./internal/extrace -fuzz FuzzParseDin -fuzztime 30s
+	$(GO) test ./internal/extrace -fuzz FuzzParseBinaryV2 -fuzztime 30s
 	$(GO) test ./internal/cachesim -fuzz FuzzPerSetStacks -fuzztime 30s
 
 cover:

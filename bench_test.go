@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -266,6 +267,82 @@ func BenchmarkExploreDinTrace(b *testing.B) {
 	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
 	b.Run("workers=2", func(b *testing.B) { run(b, 2) })
 	b.Run("workers=numcpu", func(b *testing.B) { run(b, runtime.NumCPU()) })
+}
+
+// BenchmarkExploreTraceSampled measures the billion-record-trace levers
+// against the exact din baseline on one shared workload: a ~1.06M-record
+// stream of 220 Compress-kernel segments at distinct 1 MiB offsets (so
+// block-level sampling has a real population to draw from).
+//
+//   - din/exact        — text parse + exact sweep (the baseline)
+//   - v2/exact         — columnar mxt v2 decode + exact sweep (bit-identical metrics)
+//   - v2/sample=0.01   — SHARDS block sampling at R=0.01 (the ≥10x target)
+//   - v2/dominant=0.05 — two-pass dominant-block prefilter at eps=0.05
+func BenchmarkExploreTraceSampled(b *testing.B) {
+	n := kernels.Compress()
+	tiled, err := loopir.TileAll(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := tiled.Generate(loopir.SequentialLayout(tiled, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const segments = 220
+	var din bytes.Buffer
+	for k := 0; k < segments; k++ {
+		for _, r := range tr.Refs() {
+			din.WriteByte(byte('0' + r.Kind.DinLabel()))
+			din.WriteByte(' ')
+			b2 := strconv.AppendUint(nil, r.Addr+uint64(k)<<20, 16)
+			din.Write(b2)
+			if r.EffectiveSize() != 1 {
+				din.WriteByte(' ')
+				din.Write(strconv.AppendUint(nil, uint64(r.EffectiveSize()), 10))
+			}
+			din.WriteByte('\n')
+		}
+	}
+	records := int64(tr.Len() * segments)
+	var v2 bytes.Buffer
+	if _, _, err := extrace.TranscodeV2(&v2, bytes.NewReader(din.Bytes()), extrace.Options{}); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, payload []byte, mutate func(*core.Options)) {
+		b.Helper()
+		opts := core.DefaultOptions()
+		if mutate != nil {
+			mutate(&opts)
+		}
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sampled int64
+		for i := 0; i < b.N; i++ {
+			ms, st, err := core.ExploreTrace(bytes.NewReader(payload), opts, extrace.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Records != records {
+				b.Fatalf("ingested %d records, want %d", st.Records, records)
+			}
+			sampled = ms[0].SampledRecords
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		if sampled > 0 {
+			b.ReportMetric(float64(sampled), "simulated")
+		}
+	}
+	b.Run("din/exact", func(b *testing.B) { run(b, din.Bytes(), nil) })
+	b.Run("v2/exact", func(b *testing.B) { run(b, v2.Bytes(), nil) })
+	b.Run("v2/sample=0.01", func(b *testing.B) {
+		run(b, v2.Bytes(), func(o *core.Options) { o.SampleRate, o.SampleSeed = 0.01, 1 })
+	})
+	b.Run("v2/dominant=0.05", func(b *testing.B) {
+		run(b, v2.Bytes(), func(o *core.Options) { o.DominantEps = 0.05 })
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed on a long

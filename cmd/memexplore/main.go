@@ -8,6 +8,8 @@
 //	memexplore -kernel sor -em 43.56 -cycle-bound 30000
 //	memexplore -kernel matmul -unoptimized -pareto
 //	memexplore -trace app.din.gz
+//	memexplore -trace app.din.gz -convert app.mxt.gz
+//	memexplore -trace app.mxt.gz -sample-rate 0.01 -dominant-eps 0.05
 //	memexplore -list
 //	memexplore -server http://localhost:8080 -kernel compress -wait
 //	memexplore -server http://localhost:8080 -job 4f1c... -wait
@@ -22,6 +24,7 @@
 package main
 
 import (
+	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -62,6 +65,10 @@ func main() {
 		tracePath   = flag.String("trace", "", "sweep a recorded trace file (din or mxt binary, .gz ok; '-' for stdin) instead of a kernel")
 		skipBad     = flag.Bool("skip-malformed", false, "with -trace, skip malformed records instead of failing")
 		maxRecords  = flag.Int64("max-records", 0, "with -trace, fail after this many records (0 = unlimited)")
+		sampleRate  = flag.Float64("sample-rate", 0, "with -trace, simulate only this fraction of cache blocks (SHARDS spatial sampling; 0 or 1 = exact)")
+		sampleSeed  = flag.Uint64("sample-seed", 0, "with -trace, hash seed selecting which blocks -sample-rate keeps")
+		dominantEps = flag.Float64("dominant-eps", 0, "with -trace, skip blocks outside the dominant set covering 1-eps of transitions (needs a seekable file; 0 = off)")
+		convertPath = flag.String("convert", "", "with -trace, transcode the trace to columnar mxt v2 at this path instead of sweeping ('-' for stdout, .gz compresses)")
 		engineName  = flag.String("engine", "auto", "sweep engine: auto, per-point, batched, inclusion (debugging/benchmarking; results are identical)")
 		simWorkers  = flag.Int("workers", 0, "simulation workers fanning each trace chunk across pass-unit shards (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		serverURL   = flag.String("server", "", "submit the sweep to this memexplored base URL as an async job instead of running locally")
@@ -95,6 +102,9 @@ func main() {
 	}
 	opts.Engine = engine
 	opts.Workers = *simWorkers
+	opts.SampleRate = *sampleRate
+	opts.SampleSeed = *sampleSeed
+	opts.DominantEps = *dominantEps
 
 	if *serverURL != "" || *jobID != "" {
 		if *serverURL == "" {
@@ -111,6 +121,17 @@ func main() {
 
 	if *program != "" {
 		if err := runProgram(*program, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *convertPath != "" {
+		if *tracePath == "" {
+			fatal(fmt.Errorf("-convert requires -trace"))
+		}
+		ing := memexplore.TraceIngestOptions{MaxRecords: *maxRecords, SkipMalformed: *skipBad}
+		if err := runConvert(*tracePath, *convertPath, ing); err != nil {
 			fatal(err)
 		}
 		return
@@ -264,6 +285,25 @@ func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOp
 		return err
 	}
 	fmt.Printf("trace %s: %s\n", path, st)
+	if len(ms) > 0 && (ms[0].SampleRate > 0 || ms[0].SampledRecords > 0) {
+		maxCI := 0.0
+		for _, m := range ms {
+			if m.MissRateCI > maxCI {
+				maxCI = m.MissRateCI
+			}
+		}
+		fmt.Printf("sampled: %d of %d records simulated", ms[0].SampledRecords, st.Records)
+		if ms[0].SampleRate > 0 {
+			fmt.Printf(" (rate %g, seed %d)", ms[0].SampleRate, opts.SampleSeed)
+		}
+		if ms[0].SkippedShare > 0 {
+			fmt.Printf(", %.1f%% skipped as dominant-filter cold", 100*ms[0].SkippedShare)
+		}
+		if maxCI > 0 {
+			fmt.Printf(", miss-rate 95%% CI ≤ ±%.4f", maxCI)
+		}
+		fmt.Println()
+	}
 	if plan, err := memexplore.TraceSweepPlan(opts); err == nil {
 		if plan.InclusionGroups > 0 {
 			fmt.Printf("inclusion engine: %d stack groups cover %d configurations, %d fall back — %.1f configs per pass\n",
@@ -290,6 +330,50 @@ func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOp
 		return nil
 	}
 	return reportSweep(ms, ro)
+}
+
+// runConvert transcodes a trace into the columnar mxt v2 format —
+// the fast path for traces that will be swept repeatedly. An output
+// name ending in .gz is gzip-compressed.
+func runConvert(inPath, outPath string, ing memexplore.TraceIngestOptions) error {
+	var in io.Reader = os.Stdin
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var out io.Writer = os.Stdout
+	var file *os.File
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		file = f
+		out = f
+	}
+	var zw *gzip.Writer
+	if strings.HasSuffix(outPath, ".gz") {
+		zw = gzip.NewWriter(out)
+		out = zw
+	}
+	n, st, err := memexplore.TranscodeTraceV2(out, in, ing)
+	if err == nil && zw != nil {
+		err = zw.Close()
+	}
+	if file != nil {
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "transcoded %s: %s -> %d bytes mxt v2 (%s)\n", inPath, st, n, outPath)
+	return nil
 }
 
 func mustParseInts(list string) []int {

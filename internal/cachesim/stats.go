@@ -1,6 +1,9 @@
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // MissClass categorizes a miss under the 3C model (Hill): a compulsory miss
 // is the first touch of a line ever; a capacity miss would also miss in a
@@ -111,6 +114,36 @@ func (s *Stats) Add(o Stats) {
 	s.WriteBacks += o.WriteBacks
 	s.WriteThroughs += o.WriteThroughs
 	s.VictimHits += o.VictimHits
+}
+
+// Scaled returns a copy with every count multiplied by f and rounded to
+// the nearest integer — the rescaling step of sampled trace sweeps.
+// Rounding each field independently means derived identities (for
+// example Hits + Misses == Accesses) hold only to ±1; ratios such as
+// MissRate are unaffected by the common factor up to that rounding.
+func (s Stats) Scaled(f float64) Stats {
+	sc := func(v uint64) uint64 {
+		return uint64(math.Round(float64(v) * f))
+	}
+	return Stats{
+		Accesses:         sc(s.Accesses),
+		Hits:             sc(s.Hits),
+		Misses:           sc(s.Misses),
+		Reads:            sc(s.Reads),
+		ReadHits:         sc(s.ReadHits),
+		ReadMisses:       sc(s.ReadMisses),
+		Writes:           sc(s.Writes),
+		WriteHits:        sc(s.WriteHits),
+		WriteMisses:      sc(s.WriteMisses),
+		Fetches:          sc(s.Fetches),
+		CompulsoryMisses: sc(s.CompulsoryMisses),
+		CapacityMisses:   sc(s.CapacityMisses),
+		ConflictMisses:   sc(s.ConflictMisses),
+		LinesFetched:     sc(s.LinesFetched),
+		WriteBacks:       sc(s.WriteBacks),
+		WriteThroughs:    sc(s.WriteThroughs),
+		VictimHits:       sc(s.VictimHits),
+	}
 }
 
 // String summarizes the statistics in one line.

@@ -62,6 +62,20 @@ type Metrics struct {
 	Energy EnergyBreakdown `json:"energy_breakdown"`
 	// AddBS is the measured Gray-code address-bus switching per access.
 	AddBS float64 `json:"add_bs"`
+
+	// SampleRate, SampledRecords, MissRateCI and SkippedShare form the
+	// estimation envelope of a sampled external-trace sweep (see
+	// Options.SampleRate and Options.DominantEps): the configured spatial
+	// sampling rate, the records actually simulated, the half-width of
+	// the 95% confidence interval on MissRate due to sampling, and the
+	// share of the sampled stream skipped as dominant-filter cold (each
+	// skipped reference counted as a hit). All four are zero — and absent
+	// from the JSON form — for exact sweeps, so exact results are
+	// byte-identical to previous releases.
+	SampleRate     float64 `json:"sample_rate,omitempty"`
+	SampledRecords int64   `json:"sampled_records,omitempty"`
+	MissRateCI     float64 `json:"miss_rate_ci,omitempty"`
+	SkippedShare   float64 `json:"skipped_share,omitempty"`
 }
 
 // EnergyBreakdown splits the total energy into the §2.3 components, in
@@ -147,6 +161,26 @@ type Options struct {
 	// lines to every simulated cache (0 = none; an extension knob — the
 	// ext-victim exhibit compares it against the §4.1 layout).
 	VictimLines int `json:"victim_lines,omitempty"`
+	// SampleRate, when in (0, 1), turns on SHARDS-style spatial sampling
+	// for external-trace sweeps: a seeded hash threshold over block
+	// addresses keeps a deterministic ~SampleRate fraction of the address
+	// space, counts are rescaled, and each Metrics carries the estimation
+	// envelope (SampledRecords, MissRateCI). 0 or 1 is exact. Unlike
+	// Engine and Workers, sampling changes results, so these fields ARE
+	// part of the wire form and the cache key. Kernel sweeps reject it:
+	// generated traces are cheap to produce exactly.
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	// SampleSeed seeds the sampling hash; distinct seeds draw distinct
+	// spatial samples. Meaningful only with SampleRate set.
+	SampleSeed uint64 `json:"sample_seed,omitempty"`
+	// DominantEps, when in (0, 0.5], turns on dominant-block
+	// prefiltering for external-trace sweeps: a cheap first pass finds
+	// the block granules carrying ≥ (1−ε) of the stream's granule
+	// transitions, and the sweep skips (counts as hits) references
+	// outside them, trading ≤ ~ε of the miss mass for speed. Needs a
+	// seekable trace source. Like SampleRate it is part of the wire form
+	// and the cache key.
+	DominantEps float64 `json:"dominant_eps,omitempty"`
 	// Engine forces a sweep execution engine (default auto). Results are
 	// bit-identical across engines, so the choice is not part of the wire
 	// form or the cache key — it is a local debugging/benchmarking knob.
@@ -213,6 +247,12 @@ func (o Options) Validate() error {
 	if o.VictimLines < 0 {
 		return invalidOptions("victim_lines", "negative victim buffer size %d", o.VictimLines)
 	}
+	if o.SampleRate < 0 || o.SampleRate > 1 || (o.SampleRate != o.SampleRate) {
+		return invalidOptions("sample_rate", "sampling rate %g must be in [0, 1]", o.SampleRate)
+	}
+	if o.DominantEps < 0 || o.DominantEps > 0.5 || (o.DominantEps != o.DominantEps) {
+		return invalidOptions("dominant_eps", "dominant-block epsilon %g must be in [0, 0.5]", o.DominantEps)
+	}
 	if err := o.Energy.Validate(); err != nil {
 		return invalidOptions("energy", "%v", err)
 	}
@@ -250,7 +290,28 @@ func (o Options) Normalize() Options {
 	if o.Energy == (energy.Params{}) {
 		o.Energy = d.Energy
 	}
+	// A rate of 1 is the exact sweep; canonicalize it to 0 so both
+	// spellings share one cache key. Without sampling the seed is inert —
+	// zero it for the same reason.
+	if o.SampleRate == 1 {
+		o.SampleRate = 0
+	}
+	if o.SampleRate == 0 {
+		o.SampleSeed = 0
+	}
 	return o
+}
+
+// rejectSampling refuses the trace-only thinning knobs for kernel
+// sweeps, whose traces are generated and therefore cheap to run exactly.
+func (o Options) rejectSampling() error {
+	if o.SampleRate != 0 {
+		return invalidOptions("sample_rate", "trace sampling applies only to external-trace sweeps")
+	}
+	if o.DominantEps != 0 {
+		return invalidOptions("dominant_eps", "dominant-block prefiltering applies only to external-trace sweeps")
+	}
+	return nil
 }
 
 // Explorer evaluates configurations for one kernel, caching generated
@@ -533,6 +594,9 @@ func Explore(n *loopir.Nest, opts Options) ([]Metrics, error) {
 // classification carries per-cache shadow state that dominates the cost
 // anyway; Options.Engine forces a specific engine for debugging.
 func ExploreContext(ctx context.Context, n *loopir.Nest, opts Options) ([]Metrics, error) {
+	if err := opts.rejectSampling(); err != nil {
+		return nil, err
+	}
 	if opts.Classify || opts.Engine == EnginePerPoint {
 		return ExplorePerPointContext(ctx, n, opts)
 	}
@@ -546,6 +610,9 @@ func ExploreContext(ctx context.Context, n *loopir.Nest, opts Options) ([]Metric
 // tested and benchmarked against. Results are identical to
 // ExploreContext (same points, same deterministic order).
 func ExplorePerPointContext(ctx context.Context, n *loopir.Nest, opts Options) ([]Metrics, error) {
+	if err := opts.rejectSampling(); err != nil {
+		return nil, err
+	}
 	e, err := NewExplorer(n, opts)
 	if err != nil {
 		return nil, err

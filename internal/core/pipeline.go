@@ -274,7 +274,7 @@ func (p *chunkProducer) stop() {
 // coordinator, and a barrier per chunk keeps results bit-identical to
 // the sequential path. It consumes the reader to its end (or to the
 // first error / cancellation) and leaves the sweep ready for Stats.
-func runTracePipeline(ctx context.Context, rd *extrace.Reader, sweep *cachesim.Sweep, drive func(uint64), workers int) error {
+func runTracePipeline(ctx context.Context, rd *extrace.Reader, sweep *cachesim.Sweep, drive func(uint64), workers int, filter *traceFilter) error {
 	progress := progressFrom(ctx)
 	shards := sweep.Shards(workers)
 	obsWorkers(len(shards))
@@ -296,11 +296,20 @@ func runTracePipeline(ctx context.Context, rd *extrace.Reader, sweep *cachesim.S
 		}
 		obsStall(time.Since(wait))
 		if len(msg.refs) > 0 {
-			fan.process(msg.refs, func() {
-				for _, r := range msg.refs {
-					drive(r.Addr)
-				}
-			})
+			// The filter runs here on the coordinator — chunks arrive in
+			// stream order and the slab is exclusively ours until the
+			// barrier — so thinning is deterministic at any worker count.
+			refs := msg.refs
+			if filter != nil {
+				refs = filter.apply(refs)
+			}
+			if len(refs) > 0 {
+				fan.process(refs, func() {
+					for _, r := range refs {
+						drive(r.Addr)
+					}
+				})
+			}
 			obsChunks(-1)
 			if progress != nil {
 				progress(ProgressEvent{Records: int64(len(msg.refs)), Chunks: 1})

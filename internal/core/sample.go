@@ -1,0 +1,253 @@
+package core
+
+// This file implements the two stream-thinning stages of the external-
+// trace sweep, both applied on the coordinator before the chunk fan-out:
+//
+//   - SHARDS-style spatial sampling (Options.SampleRate): a seeded
+//     hash threshold over block addresses keeps a deterministic ~R
+//     fraction of the address space. Because the filter is spatial —
+//     every reference to a kept block is kept, every reference to a
+//     dropped block is dropped — each simulated cache sees an internally
+//     consistent reference stream, and the resulting hit/miss counts are
+//     unbiased estimates of the full-trace counts after rescaling.
+//   - dominant-block prefiltering (Options.DominantEps): a cheap first
+//     pass histograms block transitions (a proxy for misses) per granule
+//     and marks the granules that carry ≥ (1−ε) of them as hot; the
+//     sweep then skips references to cold granules, counting them as
+//     hits of their kind — by construction they contribute at most an ε
+//     share of the transitions the misses come from.
+//
+// Both filters hash/bucket at one shared granule — the larger of the
+// sweep's maximum line size and the ingest statistics granule — so every
+// cache configuration of the sweep sees the same spatial subset and
+// results stay deterministic for any worker count.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+
+	"memexplore/internal/cachesim"
+	"memexplore/internal/extrace"
+	"memexplore/internal/trace"
+)
+
+// sampleConfidenceZ is the normal quantile behind the reported miss-rate
+// confidence interval (95% two-sided).
+const sampleConfidenceZ = 1.96
+
+// maxDominantGranules bounds the prepass histogram; a trace whose
+// footprint exceeds it (at the filter granule) disables prefiltering
+// rather than growing without bound.
+const maxDominantGranules = 1 << 20
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
+// hash for the sampling threshold test.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// traceFilter thins the reference stream on the coordinator goroutine.
+// It is not safe for concurrent use; the engines call apply strictly
+// between chunk barriers.
+type traceFilter struct {
+	gshift    uint   // log2 of the filter granule in bytes
+	sampling  bool   // hash-threshold sampling enabled
+	threshold uint64 // keep a granule when mix64(g^seed) < threshold
+	seed      uint64
+	hot       map[uint64]struct{} // non-nil: granules the sweep simulates
+
+	simulated int64    // records that survived both filters
+	cold      [3]int64 // sampled records skipped as cold, by trace.Kind
+}
+
+// filterGranule returns the shared spatial granule for a sweep: the
+// largest candidate line size, floored at the ingest statistics granule.
+func filterGranule(lineSizes []int) int {
+	g := extrace.LineGranule
+	for _, l := range lineSizes {
+		if l > g {
+			g = l
+		}
+	}
+	return g
+}
+
+// newTraceFilter builds the filter for normalized, validated options
+// with SampleRate > 0 or DominantEps > 0. The dominant-hot set, when
+// requested, is attached separately after the prepass.
+func newTraceFilter(opts Options) *traceFilter {
+	f := &traceFilter{gshift: uint(bits.TrailingZeros(uint(filterGranule(opts.LineSizes))))}
+	if opts.SampleRate > 0 {
+		f.sampling = true
+		f.seed = opts.SampleSeed
+		// threshold/2^64 ≈ SampleRate; a rate so close to 1 that the
+		// product saturates keeps everything.
+		t := math.Ldexp(opts.SampleRate, 64)
+		if t >= math.Ldexp(1, 64) {
+			f.threshold = ^uint64(0)
+		} else {
+			f.threshold = uint64(t)
+		}
+	}
+	return f
+}
+
+// apply compacts block in place to the records the sweep should
+// simulate, accounting the rest. The backing array is the coordinator's
+// chunk slab, exclusively owned until the chunk barrier completes.
+func (f *traceFilter) apply(block []trace.Ref) []trace.Ref {
+	w := 0
+	for _, r := range block {
+		g := r.Addr >> f.gshift
+		if f.sampling && mix64(g^f.seed) >= f.threshold {
+			continue // outside the spatial sample: dropped entirely
+		}
+		if f.hot != nil {
+			if _, ok := f.hot[g]; !ok {
+				f.cold[r.Kind]++ // cold granule: assumed hit
+				continue
+			}
+		}
+		block[w] = r
+		w++
+	}
+	f.simulated += int64(w)
+	return block[:w]
+}
+
+// coldSkipped returns the total records skipped as cold.
+func (f *traceFilter) coldSkipped() int64 {
+	return f.cold[0] + f.cold[1] + f.cold[2]
+}
+
+// samplePassed returns the records that passed the hash filter (whether
+// simulated or skipped as cold).
+func (f *traceFilter) samplePassed() int64 {
+	return f.simulated + f.coldSkipped()
+}
+
+// rescale folds the cold-skipped records into sim as hits of their kind
+// and scales the result so its access count estimates the full trace of
+// total records. The second result is the half-width of the 95%
+// binomial confidence interval on the final miss rate due to sampling
+// (zero when sampling is off — the dominant filter's bias is bounded by
+// ε, not by sampling noise).
+func (f *traceFilter) rescale(sim cachesim.Stats, total int64, rate float64) (cachesim.Stats, float64) {
+	cold := f.coldSkipped()
+	var ci float64
+	if rate > 0 && sim.Accesses > 0 {
+		p := float64(sim.Misses) / float64(sim.Accesses)
+		ci = sampleConfidenceZ * math.Sqrt(p*(1-p)/float64(sim.Accesses))
+		// Cold-skipped records enter the final rate as assumed hits,
+		// diluting the sampled estimate and its interval alike.
+		ci *= float64(sim.Accesses) / float64(sim.Accesses+uint64(cold))
+	}
+	sim.Accesses += uint64(cold)
+	sim.Hits += uint64(cold)
+	sim.Reads += uint64(f.cold[trace.Read])
+	sim.ReadHits += uint64(f.cold[trace.Read])
+	sim.Writes += uint64(f.cold[trace.Write])
+	sim.WriteHits += uint64(f.cold[trace.Write])
+	sim.Fetches += uint64(f.cold[trace.Fetch])
+	if passed := f.samplePassed(); passed > 0 && passed != total {
+		sim = sim.Scaled(float64(total) / float64(passed))
+	}
+	return sim, ci
+}
+
+// dominantPrepass streams the whole trace once, histograms granule
+// transitions (consecutive references touching different granules — the
+// stream's upper bound on cold-start and reuse misses), and returns the
+// smallest hot set of granules covering ≥ (1−ε) of them. r must be
+// seekable: the prepass rewinds it to its starting position so the sweep
+// pass reads the same stream. A footprint beyond maxDominantGranules
+// returns a nil hot set (prefiltering disabled) rather than unbounded
+// memory.
+func dominantPrepass(ctx context.Context, r io.Reader, ing extrace.Options, gshift uint, eps float64) (map[uint64]struct{}, error) {
+	seeker, ok := r.(io.Seeker)
+	if !ok {
+		return nil, invalidOptions("dominant_eps", "dominant-block prefiltering needs a seekable trace source (it reads the stream twice)")
+	}
+	start, err := seeker.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, fmt.Errorf("core: locating trace start for the dominant-block prepass: %w", err)
+	}
+
+	counts := make(map[uint64]int64)
+	var total int64
+	var prev uint64
+	havePrev := false
+	rd := extrace.NewReader(r, ing)
+	chunk := make([]trace.Ref, traceChunkRefs)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
+		n, rerr := rd.Read(chunk)
+		for _, ref := range chunk[:n] {
+			g := ref.Addr >> gshift
+			if havePrev && g == prev {
+				continue
+			}
+			if _, ok := counts[g]; !ok && len(counts) >= maxDominantGranules {
+				counts = nil // histogram overflow: disable the filter
+				break
+			}
+			counts[g]++
+			total++
+			prev, havePrev = g, true
+		}
+		if counts == nil || rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			rd.Close()
+			return nil, fmt.Errorf("core: dominant-block prepass: %w", rerr)
+		}
+	}
+	rd.Close()
+	if _, err := seeker.Seek(start, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("core: rewinding trace after the dominant-block prepass: %w", err)
+	}
+	if counts == nil || total == 0 {
+		return nil, nil
+	}
+
+	// Hot set: granules by descending transition count (ties by ascending
+	// granule, for determinism) until ≥ (1−ε) of the transitions are
+	// covered.
+	type gc struct {
+		g uint64
+		c int64
+	}
+	all := make([]gc, 0, len(counts))
+	for g, c := range counts {
+		all = append(all, gc{g, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].g < all[j].g
+	})
+	need := int64(math.Ceil((1 - eps) * float64(total)))
+	hot := make(map[uint64]struct{})
+	var covered int64
+	for _, e := range all {
+		if covered >= need {
+			break
+		}
+		hot[e.g] = struct{}{}
+		covered += e.c
+	}
+	return hot, nil
+}

@@ -41,6 +41,14 @@ func traceSpace(opts Options) (Options, error) {
 	}
 	opts.Tilings = []int{1}
 	opts.OptimizeLayout = false
+	// Canonicalize the sampling knobs the way Normalize does, so a rate
+	// of exactly 1 takes the exact path.
+	if opts.SampleRate == 1 {
+		opts.SampleRate = 0
+	}
+	if opts.SampleRate == 0 {
+		opts.SampleSeed = 0
+	}
 	if err := opts.Validate(); err != nil {
 		return Options{}, err
 	}
@@ -84,14 +92,30 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	}
 	defer sweep.Release() // every return path must recycle the pooled arrays
 
+	// Stream-thinning stages (exact sweeps leave filter nil and are
+	// bit-identical to previous releases): the dominant-block prepass
+	// reads the stream once and rewinds it, then the filter rides the
+	// coordinator of either engine.
+	var filter *traceFilter
+	if opts.SampleRate > 0 || opts.DominantEps > 0 {
+		filter = newTraceFilter(opts)
+		if opts.DominantEps > 0 {
+			hot, err := dominantPrepass(ctx, r, ing, filter.gshift, opts.DominantEps)
+			if err != nil {
+				return nil, extrace.IngestStats{}, err
+			}
+			filter.hot = hot
+		}
+	}
+
 	rd := extrace.NewReader(r, ing)
 	defer rd.Close()
 	ctr := bus.NewSwitchCounter(bus.Gray)
 	if workers := opts.effectiveWorkers(); workers > 1 && sweep.PassUnits() > 1 {
-		err = runTracePipeline(ctx, rd, sweep, ctr.Drive, workers)
+		err = runTracePipeline(ctx, rd, sweep, ctr.Drive, workers, filter)
 	} else {
 		obsWorkers(1)
-		err = runTraceSequential(ctx, rd, sweep, ctr.Drive)
+		err = runTraceSequential(ctx, rd, sweep, ctr.Drive, filter)
 	}
 	if err != nil {
 		return nil, rd.Stats(), err
@@ -100,14 +124,31 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	if st.Records == 0 {
 		return nil, st, ErrEmptyTrace
 	}
+	if filter != nil && filter.simulated == 0 {
+		return nil, st, fmt.Errorf("%w (sampling at rate %g kept none of %d records)",
+			ErrEmptyTrace, opts.SampleRate, st.Records)
+	}
 
 	addBS := ctr.PerDrive()
 	stats := sweep.Stats()
 	out := make([]Metrics, len(points))
-	for i, p := range points {
-		m, err := scoreStats(cfgs[i], p.Tiling, opts.Energy, stats[i], addBS)
+	for i, pt := range points {
+		full := stats[i]
+		var ci float64
+		if filter != nil {
+			full, ci = filter.rescale(full, st.Records, opts.SampleRate)
+		}
+		m, err := scoreStats(cfgs[i], pt.Tiling, opts.Energy, full, addBS)
 		if err != nil {
-			return nil, st, fmt.Errorf("core: evaluating trace sweep %v: %w", p, err)
+			return nil, st, fmt.Errorf("core: evaluating trace sweep %v: %w", pt, err)
+		}
+		if filter != nil {
+			m.SampleRate = opts.SampleRate
+			m.SampledRecords = filter.simulated
+			m.MissRateCI = ci
+			if passed := filter.samplePassed(); passed > 0 {
+				m.SkippedShare = float64(filter.coldSkipped()) / float64(passed)
+			}
 		}
 		out[i] = m
 	}
@@ -118,7 +159,7 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 // workers=1 path): read a chunk, drive the bus counter, feed every pass
 // unit, check the context, repeat. The pipelined engine is pinned
 // bit-identical to this loop by the equivalence tests.
-func runTraceSequential(ctx context.Context, rd *extrace.Reader, sweep *cachesim.Sweep, drive func(uint64)) error {
+func runTraceSequential(ctx context.Context, rd *extrace.Reader, sweep *cachesim.Sweep, drive func(uint64), filter *traceFilter) error {
 	progress := progressFrom(ctx)
 	chunk := make([]trace.Ref, traceChunkRefs)
 	for {
@@ -128,11 +169,18 @@ func runTraceSequential(ctx context.Context, rd *extrace.Reader, sweep *cachesim
 		n, rerr := rd.Read(chunk)
 		if n > 0 {
 			block := chunk[:n]
-			for _, ref := range block {
-				drive(ref.Addr)
+			if filter != nil {
+				block = filter.apply(block)
 			}
-			sweep.AccessBlock(block)
+			if len(block) > 0 {
+				for _, ref := range block {
+					drive(ref.Addr)
+				}
+				sweep.AccessBlock(block)
+			}
 			if progress != nil {
+				// Progress counts the records read, not the (thinned)
+				// records simulated, so percent-done tracks the stream.
 				progress(ProgressEvent{Records: int64(n), Chunks: 1})
 			}
 		}

@@ -61,7 +61,7 @@ func (d *binDecoder) next() (trace.Ref, error) {
 		d.off += int64(n)
 		if p[0] > 2 {
 			if d.opts.SkipMalformed {
-				d.acc.st.Rejects++
+				d.acc.reject(1)
 				continue
 			}
 			return trace.Ref{}, &ParseError{Format: "binary", Offset: recStart,

@@ -1,0 +1,376 @@
+package extrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"memexplore/internal/trace"
+)
+
+// binaryV2Magic opens every mxt v2 columnar trace. Like the v1 magic,
+// the "\r\n" tail catches text-mode newline mangling.
+const binaryV2Magic = "MXTB02\r\n"
+
+// mxt v2 columnar chunk layout (after the magic): a sequence of
+// self-framed chunks, each
+//
+//	header (16 bytes, little-endian uint32s):
+//	  [0:4]   record count n (1 ≤ n ≤ v2MaxChunkRecords)
+//	  [4:8]   flags (bit 0: a size column follows the kind column)
+//	  [8:12]  addrBytes — byte length of the address column
+//	  [12:16] CRC-32 (IEEE) of the payload that follows
+//	payload (addrBytes + ⌈n/4⌉ [+ n] bytes):
+//	  address column: the first record's address as a plain uvarint,
+//	    then n−1 zig-zag-encoded deltas (uvarint of zigzag(addrᵢ−addrᵢ₋₁));
+//	    each chunk restarts from an absolute address, so chunks decode
+//	    independently of one another
+//	  kind column: 2 bits per record, record i in byte i/4 at bit (i%4)·2
+//	  size column (only when flags bit 0): one byte per record; omitted
+//	    when every size in the chunk is 0 (the default-size common case)
+//
+// Decoding is columnar and branch-light: one varint loop reconstructs
+// every address, one unpack loop spreads the kinds, and a single scan
+// validates kind labels — no per-record function calls, so a whole chunk
+// lands in the caller's pooled slab in one readChunk. Clean EOF is only
+// legal at a chunk boundary. A CRC mismatch or an undecodable column is
+// chunk-level damage: fatal normally, or — because the frame length is
+// still trusted — skippable as n rejects under Options.SkipMalformed. A
+// bad kind label (the 2-bit field admits 3) is record-level damage:
+// fatal normally, compacted away as a reject in skip mode.
+const (
+	v2ChunkRecords    = 4096  // records per chunk written by WriteBinaryV2
+	v2MaxChunkRecords = 65536 // cap accepted by the decoder
+	v2HeaderBytes     = 16
+	v2FlagSizes       = 1 // header flag bit 0: size column present
+	v2MaxUvarint      = 10
+)
+
+// zigzag maps a signed delta to an unsigned varint-friendly value
+// (0→0, −1→1, 1→2, …); unzigzag inverts it.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// binV2Decoder streams the v2 columnar format chunk-at-a-time.
+type binV2Decoder struct {
+	br   *bufio.Reader
+	opts Options
+	acc  *accumulator
+	off  int64 // decompressed byte offset of the next chunk start
+
+	header  [v2HeaderBytes]byte
+	payload []byte // reusable payload buffer
+
+	// pend holds records decoded from a chunk larger than the caller's
+	// buffer; they drain across readChunk calls before the next chunk is
+	// read. The common sweep path hands in full pooled slabs (≥ chunk
+	// size), so pend stays unused there.
+	pend    []trace.Ref
+	pendOff int
+}
+
+// readChunk decodes up to len(buf) records directly into buf and
+// reports how many it wrote. It returns io.EOF only at a clean chunk
+// boundary with no records, and never both records and an error.
+func (d *binV2Decoder) readChunk(buf []trace.Ref) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	if d.pendOff < len(d.pend) {
+		n := copy(buf, d.pend[d.pendOff:])
+		d.pendOff += n
+		return n, nil
+	}
+	for {
+		chunkStart := d.off
+		if _, err := io.ReadFull(d.br, d.header[:]); err != nil {
+			if err == io.EOF {
+				return 0, io.EOF
+			}
+			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
+				Reason: fmt.Sprintf("truncated chunk header: %v", err)}
+		}
+		count := binary.LittleEndian.Uint32(d.header[0:4])
+		flags := binary.LittleEndian.Uint32(d.header[4:8])
+		addrBytes := binary.LittleEndian.Uint32(d.header[8:12])
+		wantCRC := binary.LittleEndian.Uint32(d.header[12:16])
+		if count == 0 || count > v2MaxChunkRecords {
+			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
+				Reason: fmt.Sprintf("bad chunk record count %d (want 1..%d)", count, v2MaxChunkRecords)}
+		}
+		if flags&^uint32(v2FlagSizes) != 0 {
+			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
+				Reason: fmt.Sprintf("unknown chunk flags %#x", flags)}
+		}
+		if addrBytes == 0 || addrBytes > count*v2MaxUvarint {
+			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
+				Reason: fmt.Sprintf("bad address column length %d for %d records", addrBytes, count)}
+		}
+		payloadLen := int(addrBytes) + (int(count)+3)/4
+		if flags&v2FlagSizes != 0 {
+			payloadLen += int(count)
+		}
+		if cap(d.payload) < payloadLen {
+			d.payload = make([]byte, payloadLen)
+		}
+		p := d.payload[:payloadLen]
+		if _, err := io.ReadFull(d.br, p); err != nil {
+			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
+				Reason: fmt.Sprintf("truncated chunk payload: want %d bytes: %v", payloadLen, err)}
+		}
+		d.off += int64(v2HeaderBytes + payloadLen)
+		if got := crc32.ChecksumIEEE(p); got != wantCRC {
+			// The frame length is still trusted, so the damaged chunk can be
+			// stepped over whole in skip mode.
+			if d.opts.SkipMalformed {
+				d.acc.reject(int64(count))
+				continue
+			}
+			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
+				Reason: fmt.Sprintf("chunk CRC mismatch (got %#08x, want %#08x)", got, wantCRC)}
+		}
+
+		// Decode straight into the caller's buffer when it fits; otherwise
+		// into the pending slab, drained across calls.
+		dst := buf
+		spill := len(buf) < int(count)
+		if spill {
+			if cap(d.pend) < int(count) {
+				d.pend = make([]trace.Ref, count)
+			}
+			dst = d.pend[:count]
+		}
+		n, perr := d.decodeColumns(dst[:count], p, int(count), int(addrBytes), flags)
+		if perr != nil {
+			if d.opts.SkipMalformed {
+				d.acc.reject(int64(count))
+				continue
+			}
+			perr.Offset = chunkStart
+			return 0, perr
+		}
+		if n == 0 {
+			continue // every record of the chunk was a rejected kind
+		}
+		if spill {
+			d.pend = d.pend[:n]
+			d.pendOff = copy(buf, d.pend)
+			return d.pendOff, nil
+		}
+		return n, nil
+	}
+}
+
+// decodeColumns reconstructs one chunk's records into dst[:count] and
+// returns how many survived kind validation (compacting rejects away in
+// skip mode). A returned *ParseError means undecodable column data — the
+// caller decides between fatal and whole-chunk skip — except for bad
+// kind labels outside skip mode, which also surface here.
+func (d *binV2Decoder) decodeColumns(dst []trace.Ref, p []byte, count, addrBytes int, flags uint32) (int, *ParseError) {
+	addrCol := p[:addrBytes]
+	kindBytes := (count + 3) / 4
+	kindCol := p[addrBytes : addrBytes+kindBytes]
+	var sizeCol []byte
+	if flags&v2FlagSizes != 0 {
+		sizeCol = p[addrBytes+kindBytes : addrBytes+kindBytes+count]
+	}
+
+	// Address column: absolute first, zig-zag deltas after.
+	pos := 0
+	var addr uint64
+	for i := 0; i < count; i++ {
+		v, n := binary.Uvarint(addrCol[pos:])
+		if n <= 0 {
+			return 0, &ParseError{Format: "binaryv2",
+				Reason: fmt.Sprintf("corrupt address column at record %d", i)}
+		}
+		pos += n
+		if i == 0 {
+			addr = v
+		} else {
+			addr += uint64(unzigzag(v))
+		}
+		dst[i] = trace.Ref{Addr: addr}
+	}
+	if pos != addrBytes {
+		return 0, &ParseError{Format: "binaryv2",
+			Reason: fmt.Sprintf("address column length mismatch (%d of %d bytes decoded)", pos, addrBytes)}
+	}
+
+	// Kind column: 2 bits per record; padding bits of the last byte are
+	// ignored. bad accumulates labels of 3, which no writer emits.
+	bad := 0
+	for i := 0; i < count; i++ {
+		k := kindCol[i>>2] >> ((uint(i) & 3) * 2) & 3
+		dst[i].Kind = trace.Kind(k)
+		if k == 3 {
+			bad++
+		}
+	}
+	if sizeCol != nil {
+		for i := 0; i < count; i++ {
+			dst[i].Size = sizeCol[i]
+		}
+	}
+	if bad == 0 {
+		return count, nil
+	}
+	if !d.opts.SkipMalformed {
+		for i := 0; i < count; i++ {
+			if dst[i].Kind == 3 {
+				return 0, &ParseError{Format: "binaryv2",
+					Reason: fmt.Sprintf("bad kind label 3 in record %d of chunk", i)}
+			}
+		}
+	}
+	// Skip mode: compact the bad records away, counting each as a reject.
+	w := 0
+	for i := 0; i < count; i++ {
+		if dst[i].Kind == 3 {
+			continue
+		}
+		dst[w] = dst[i]
+		w++
+	}
+	d.acc.reject(int64(count - w))
+	return w, nil
+}
+
+// WriteBinaryV2 streams src to w in the mxt v2 columnar chunk format and
+// returns the record count. Like WriteBinary it preserves every
+// trace.Ref bit-for-bit; unlike it, records land in delta-encoded
+// columns that decode a chunk at a time.
+func WriteBinaryV2(w io.Writer, src trace.Source) (int64, error) {
+	bw := bufio.NewWriterSize(w, 64*1024)
+	if _, err := bw.WriteString(binaryV2Magic); err != nil {
+		return 0, fmt.Errorf("extrace: writing binary v2 magic: %w", err)
+	}
+	var (
+		written int64
+		batch   = make([]trace.Ref, 0, v2ChunkRecords)
+		scratch []byte
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		scratch = appendV2Chunk(scratch[:0], batch)
+		if _, err := bw.Write(scratch); err != nil {
+			return fmt.Errorf("extrace: writing binary v2 chunk after %d records: %w", written, err)
+		}
+		written += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return written, fmt.Errorf("extrace: reading source after %d records: %w", written+int64(len(batch)), err)
+		}
+		batch = append(batch, r)
+		if len(batch) == v2ChunkRecords {
+			if err := flush(); err != nil {
+				return written, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return written, err
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("extrace: flushing binary v2 output: %w", err)
+	}
+	return written, nil
+}
+
+// appendV2Chunk encodes one chunk (header + payload) onto dst.
+func appendV2Chunk(dst []byte, recs []trace.Ref) []byte {
+	headerAt := len(dst)
+	dst = append(dst, make([]byte, v2HeaderBytes)...)
+	payloadAt := len(dst)
+
+	// Address column.
+	var tmp [v2MaxUvarint]byte
+	prev := uint64(0)
+	for i, r := range recs {
+		var v uint64
+		if i == 0 {
+			v = r.Addr
+		} else {
+			v = zigzag(int64(r.Addr - prev))
+		}
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], v)]...)
+		prev = r.Addr
+	}
+	addrBytes := len(dst) - payloadAt
+
+	// Kind column, 2 bits per record, zero-padded.
+	kindAt := len(dst)
+	dst = append(dst, make([]byte, (len(recs)+3)/4)...)
+	hasSizes := false
+	for i, r := range recs {
+		dst[kindAt+(i>>2)] |= byte(r.Kind&3) << ((uint(i) & 3) * 2)
+		if r.Size != 0 {
+			hasSizes = true
+		}
+	}
+
+	flags := uint32(0)
+	if hasSizes {
+		flags |= v2FlagSizes
+		for _, r := range recs {
+			dst = append(dst, r.Size)
+		}
+	}
+
+	h := dst[headerAt : headerAt+v2HeaderBytes]
+	binary.LittleEndian.PutUint32(h[0:4], uint32(len(recs)))
+	binary.LittleEndian.PutUint32(h[4:8], flags)
+	binary.LittleEndian.PutUint32(h[8:12], uint32(addrBytes))
+	binary.LittleEndian.PutUint32(h[12:16], crc32.ChecksumIEEE(dst[payloadAt:]))
+	return dst
+}
+
+// TranscodeV2 streams an external trace (din, mxt v1 or v2, gzip
+// autodetected) from r into the mxt v2 columnar format on w, returning
+// the record count and the ingest profile of the source. opts shapes the
+// read side exactly as in NewReader; rejected records are dropped from
+// the output.
+func TranscodeV2(w io.Writer, r io.Reader, opts Options) (int64, IngestStats, error) {
+	rd := NewReader(r, opts)
+	defer rd.Close()
+	n, err := WriteBinaryV2(w, rd.Source())
+	return n, rd.Stats(), err
+}
+
+// Source adapts the Reader to the one-record-at-a-time trace.Source
+// interface — the shape WriteBinary and WriteBinaryV2 consume — with a
+// chunk buffer in between so the Reader's bulk path still applies.
+func (r *Reader) Source() trace.Source {
+	return &readerSource{rd: r, buf: make([]trace.Ref, v2ChunkRecords)}
+}
+
+type readerSource struct {
+	rd   *Reader
+	buf  []trace.Ref
+	i, n int
+	err  error
+}
+
+func (s *readerSource) Next() (trace.Ref, error) {
+	for s.i >= s.n {
+		if s.err != nil {
+			return trace.Ref{}, s.err
+		}
+		n, err := s.rd.Read(s.buf)
+		s.i, s.n, s.err = 0, n, err
+	}
+	r := s.buf[s.i]
+	s.i++
+	return r, nil
+}

@@ -31,6 +31,14 @@ type decoder interface {
 	next() (trace.Ref, error)
 }
 
+// chunkDecoder decodes whole chunks at once into the caller's buffer —
+// the columnar v2 fast path. Implementations follow the same malformed-
+// record contract as decoder; they must never report records together
+// with an error.
+type chunkDecoder interface {
+	readChunk(buf []trace.Ref) (int, error)
+}
+
 // Reader streams an external trace as chunks of trace.Ref. It never holds
 // more than one buffered chunk of input: memory use is bounded by the
 // format buffers plus the footprint-bounded ingest statistics, never by
@@ -41,6 +49,7 @@ type Reader struct {
 	raw  *countReader
 	gz   *gzip.Reader // non-nil when the stream was gzip-compressed
 	dec  decoder
+	cdec chunkDecoder // non-nil for chunk-at-a-time formats (mxt v2)
 	acc  *accumulator
 
 	format  string
@@ -79,6 +88,12 @@ func (r *Reader) start() error {
 		r.dec = &binDecoder{br: br, opts: r.opts, acc: r.acc, off: int64(len(binaryMagic))}
 		return nil
 	}
+	if magic, err := br.Peek(len(binaryV2Magic)); err == nil && string(magic) == binaryV2Magic {
+		br.Discard(len(binaryV2Magic))
+		r.format = "binaryv2"
+		r.cdec = &binV2Decoder{br: br, opts: r.opts, acc: r.acc, off: int64(len(binaryV2Magic))}
+		return nil
+	}
 	r.format = "din"
 	// The line buffer must hold a full line to detect its newline; cap it
 	// at the line limit so an endless line fails fast instead of growing.
@@ -100,6 +115,9 @@ func (r *Reader) Read(buf []trace.Ref) (int, error) {
 			return 0, err
 		}
 	}
+	if r.cdec != nil {
+		return r.readChunked(buf)
+	}
 	n := 0
 	for n < len(buf) {
 		ref, err := r.dec.next()
@@ -114,6 +132,35 @@ func (r *Reader) Read(buf []trace.Ref) (int, error) {
 		r.acc.note(ref)
 		buf[n] = ref
 		n++
+	}
+	return n, nil
+}
+
+// readChunked is Read for chunk-at-a-time decoders: whole chunks land
+// directly in buf (the pipeline's pooled slabs) and are accounted in one
+// noteBlock per chunk. Stats accumulate strictly after the decoder's
+// malformed-record rejection, preserving the IngestStats invariant that
+// rejected records never count — same contract, fewer per-record calls.
+func (r *Reader) readChunked(buf []trace.Ref) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.cdec.readChunk(buf[n:])
+		if m > 0 && r.opts.MaxRecords > 0 && r.acc.st.Records+int64(m) > r.opts.MaxRecords {
+			// The limit falls inside this chunk: accept records up to it
+			// (matching the per-record path, which notes exactly MaxRecords
+			// before failing on the next decode), then fail.
+			keep := int(r.opts.MaxRecords - r.acc.st.Records)
+			r.acc.noteBlock(buf[n : n+keep])
+			n += keep
+			r.err = fmt.Errorf("%w (%d)", ErrRecordLimit, r.opts.MaxRecords)
+			return n, r.err
+		}
+		r.acc.noteBlock(buf[n : n+m])
+		n += m
+		if err != nil {
+			r.err = err
+			return n, err
+		}
 	}
 	return n, nil
 }
@@ -183,7 +230,7 @@ func (d *dinDecoder) next() (trace.Ref, error) {
 // malformed counts a reject in skip mode or builds the fatal *ParseError.
 func (d *dinDecoder) malformed(offset int64, reason string) error {
 	if d.opts.SkipMalformed {
-		d.acc.st.Rejects++
+		d.acc.reject(1)
 		return nil
 	}
 	return &ParseError{Format: "din", Line: d.line, Offset: offset, Reason: reason}

@@ -104,6 +104,9 @@ func (s IngestStats) TopStrides() []int64 {
 }
 
 // accumulator is the constant-memory running state behind IngestStats.
+// Decoders report rejected records only through reject(); note/noteBlock
+// see accepted records only, so a rejected record can never reach the
+// counts, the address range, the footprint, or the stride histogram.
 type accumulator struct {
 	st IngestStats
 
@@ -112,8 +115,20 @@ type accumulator struct {
 	sequential int64
 
 	granules map[uint64]struct{}
+	// lastGranule caches the most recent granule known to be accounted
+	// for, short-circuiting the map probe on granule-local streaks — the
+	// ingest hot path for sequential traces.
+	lastGranule   uint64
+	lastGranuleOK bool
+
 	strides  map[int64]int64
 	overflow int64 // strides beyond maxStrideEntries
+	// The current run of identical deltas, folded into the histogram only
+	// when the delta changes (or at snapshot) — one map write per run
+	// instead of one per record.
+	runDelta int64
+	runCount int64
+	runSet   bool
 }
 
 func newAccumulator() *accumulator {
@@ -121,6 +136,12 @@ func newAccumulator() *accumulator {
 		granules: make(map[uint64]struct{}),
 		strides:  make(map[int64]int64),
 	}
+}
+
+// reject counts n records skipped as malformed. It is the only path by
+// which rejection reaches the statistics.
+func (a *accumulator) reject(n int64) {
+	a.st.Rejects += n
 }
 
 // note records one accepted reference.
@@ -145,33 +166,62 @@ func (a *accumulator) note(r trace.Ref) {
 			a.st.MaxAddr = last
 		}
 	}
-	for g := r.Addr / LineGranule; g <= last/LineGranule; g++ {
-		if _, ok := a.granules[g]; ok {
-			continue
+	g0, g1 := r.Addr/LineGranule, last/LineGranule
+	if !a.lastGranuleOK || g0 != a.lastGranule || g1 != a.lastGranule {
+		for g := g0; g <= g1; g++ {
+			if _, ok := a.granules[g]; ok {
+				continue
+			}
+			if len(a.granules) >= maxFootprintGranules {
+				a.st.FootprintSaturated = true
+				break
+			}
+			a.granules[g] = struct{}{}
 		}
-		if len(a.granules) >= maxFootprintGranules {
-			a.st.FootprintSaturated = true
-			break
-		}
-		a.granules[g] = struct{}{}
+		a.lastGranule, a.lastGranuleOK = g1, true
 	}
 	if a.prevSet {
 		delta := int64(r.Addr) - int64(a.prevAddr)
 		if delta >= -8 && delta <= 8 {
 			a.sequential++
 		}
-		if _, ok := a.strides[delta]; ok || len(a.strides) < maxStrideEntries {
-			a.strides[delta]++
+		if a.runSet && delta == a.runDelta {
+			a.runCount++
 		} else {
-			a.overflow++
+			a.flushRun()
+			a.runDelta, a.runCount, a.runSet = delta, 1, true
 		}
 	}
 	a.prevAddr = r.Addr
 	a.prevSet = true
 }
 
+// noteBlock records a chunk of accepted references — the bulk-decode
+// counterpart of note.
+func (a *accumulator) noteBlock(refs []trace.Ref) {
+	for i := range refs {
+		a.note(refs[i])
+	}
+}
+
+// flushRun folds the pending delta run into the histogram, preserving
+// the capped-map semantics (a delta absent from a full map overflows).
+func (a *accumulator) flushRun() {
+	if !a.runSet || a.runCount == 0 {
+		return
+	}
+	if _, ok := a.strides[a.runDelta]; ok || len(a.strides) < maxStrideEntries {
+		a.strides[a.runDelta] += a.runCount
+	} else {
+		a.overflow += a.runCount
+	}
+	a.runCount = 0
+	a.runSet = false
+}
+
 // snapshot folds the running state into a reportable IngestStats.
 func (a *accumulator) snapshot() IngestStats {
+	a.flushRun()
 	st := a.st
 	st.LineGranule = LineGranule
 	st.FootprintLines = len(a.granules)

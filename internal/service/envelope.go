@@ -112,11 +112,31 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 
 // ResultMeta is the success-envelope header every sweep response
 // embeds: whether the result was recalled from a cache tier, which
-// engine executed, and the sweep plan that was (or would be) run.
+// engine executed, the sweep plan that was (or would be) run, and — for
+// sampled or prefiltered trace sweeps only — the estimation envelope.
 type ResultMeta struct {
-	Cached bool      `json:"cached"`
-	Engine string    `json:"engine"`
-	Plan   *PlanInfo `json:"plan,omitempty"`
+	Cached bool        `json:"cached"`
+	Engine string      `json:"engine"`
+	Plan   *PlanInfo   `json:"plan,omitempty"`
+	Sample *SampleInfo `json:"sample,omitempty"`
+}
+
+// SampleInfo summarizes the estimation envelope of a sampled trace
+// sweep (see core.Options.SampleRate / DominantEps). Absent for exact
+// sweeps, so exact responses are byte-identical to previous releases.
+type SampleInfo struct {
+	// Rate and Seed echo the requested spatial sampling parameters (Rate
+	// 0 when only dominant-block prefiltering ran).
+	Rate float64 `json:"rate,omitempty"`
+	Seed uint64  `json:"seed,omitempty"`
+	// SampledRecords is how many records were actually simulated.
+	SampledRecords int64 `json:"sampled_records"`
+	// SkippedShare is the fraction of the (sampled) stream skipped as
+	// dominant-filter cold, each skipped reference counted as a hit.
+	SkippedShare float64 `json:"skipped_share,omitempty"`
+	// MissRateCIMax is the largest per-point 95% confidence half-width
+	// on MissRate across the sweep — a single worst-case error bound.
+	MissRateCIMax float64 `json:"miss_rate_ci_max,omitempty"`
 }
 
 // PlanInfo is the wire form of core.SweepPlan.

@@ -28,6 +28,12 @@ type counters struct {
 	traceBytesRead expvar.Int // wire bytes read from trace bodies
 	traceRecords   expvar.Int // trace records accepted into sweeps
 	traceRejects   expvar.Int // malformed records skipped (skip mode)
+	// traceSampledRecords totals the records actually simulated by
+	// sampled/prefiltered trace sweeps (a counter); traceSampleRate is the
+	// configured sampling rate of the most recent such sweep (a gauge, 0
+	// when the last trace sweep was exact).
+	traceSampledRecords expvar.Int
+	traceSampleRate     expvar.Float
 	// inclusionGroups counts the (workload, line, sets) groups the
 	// inclusion engine collapsed into single LRU stack passes across
 	// completed sweeps.
@@ -85,6 +91,8 @@ var vars = func() *counters {
 	m.Set("trace_bytes_read", &c.traceBytesRead)
 	m.Set("trace_records", &c.traceRecords)
 	m.Set("trace_rejects", &c.traceRejects)
+	m.Set("trace_sampled_records", &c.traceSampledRecords)
+	m.Set("trace_sample_rate", &c.traceSampleRate)
 	m.Set("inclusion_groups", &c.inclusionGroups)
 	m.Set("latency_ms", &c.latency)
 	m.Set("last_sweep_points_per_sec", &c.lastPointsPerSec)

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -144,6 +145,12 @@ func parseTraceQuery(q url.Values) (traceQuery, error) {
 				tq.opts.Energy.Main.EmNJ = em
 				tq.opts.Energy.Main.Name = "custom (em=" + v + " nJ)"
 			}
+		case "sample_rate":
+			tq.opts.SampleRate, err = strconv.ParseFloat(v, 64)
+		case "sample_seed":
+			tq.opts.SampleSeed, err = strconv.ParseUint(v, 10, 64)
+		case "dominant_eps":
+			tq.opts.DominantEps, err = strconv.ParseFloat(v, 64)
 		case "max_records":
 			tq.ing.MaxRecords, err = strconv.ParseInt(v, 10, 64)
 		case "skip_malformed":
@@ -244,6 +251,25 @@ func (s *Server) runTrace(ctx context.Context, body io.Reader, tq traceQuery, tr
 		}
 		meta = resultMeta(false, tq.opts, plan, 1)
 	}
+	if len(ms) > 0 && (ms[0].SampleRate > 0 || ms[0].SampledRecords > 0) {
+		var maxCI float64
+		for _, m := range ms {
+			if m.MissRateCI > maxCI {
+				maxCI = m.MissRateCI
+			}
+		}
+		meta.Sample = &SampleInfo{
+			Rate:           ms[0].SampleRate,
+			Seed:           tq.opts.SampleSeed,
+			SampledRecords: ms[0].SampledRecords,
+			SkippedShare:   ms[0].SkippedShare,
+			MissRateCIMax:  maxCI,
+		}
+		vars.traceSampledRecords.Add(ms[0].SampledRecords)
+		vars.traceSampleRate.Set(ms[0].SampleRate)
+	} else {
+		vars.traceSampleRate.Set(0)
+	}
 	if secs := time.Since(begin).Seconds(); secs > 0 {
 		vars.lastPointsPerSec.Set(float64(len(ms)) / secs)
 	}
@@ -274,6 +300,28 @@ func (s *Server) traceSweep(ctx context.Context, body io.Reader, tq traceQuery, 
 	}
 	vars.inFlight.Add(1)
 	defer vars.inFlight.Add(-1)
+
+	// Dominant-block prefiltering reads the stream twice; an HTTP body
+	// cannot rewind, so spool it to a temp file first. Job bodies arrive
+	// as bytes.Readers and skip the spool.
+	if tq.opts.DominantEps > 0 {
+		if _, ok := body.(io.Seeker); !ok {
+			f, err := os.CreateTemp("", "memexplore-trace-*")
+			if err != nil {
+				return nil, extrace.IngestStats{}, fmt.Errorf("service: spooling trace for the dominant-block prepass: %w", err)
+			}
+			defer os.Remove(f.Name())
+			defer f.Close()
+			if _, err := io.Copy(f, body); err != nil {
+				// A MaxBytesError from the HTTP body limit propagates here.
+				return nil, extrace.IngestStats{}, err
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return nil, extrace.IngestStats{}, fmt.Errorf("service: rewinding spooled trace: %w", err)
+			}
+			body = f
+		}
+	}
 
 	ms, st, err := core.ExploreTraceReader(ctx, body, tq.opts, tq.ing)
 	vars.traceBytesRead.Add(st.BytesRead)

@@ -266,6 +266,108 @@ func TestExploreTraceWorkersParam(t *testing.T) {
 	}
 }
 
+// TestExploreTraceSampling pins the sampled-sweep surface of the
+// endpoint: the query alias, the response envelope, the expvars, and
+// determinism across identical requests.
+func TestExploreTraceSampling(t *testing.T) {
+	s := newTestServer(t)
+	din := kernelDin(t)
+
+	sampledBefore := vars.traceSampledRecords.Value()
+	w := postTrace(t, s, traceQueryString+"&sample_rate=0.5&sample_seed=7", din)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeTrace(t, w)
+	if resp.Sample == nil {
+		t.Fatalf("sampled response lacks the sample envelope: %s", w.Body)
+	}
+	if resp.Sample.Rate != 0.5 || resp.Sample.Seed != 7 {
+		t.Errorf("sample envelope = %+v, want rate 0.5 seed 7", resp.Sample)
+	}
+	if resp.Sample.SampledRecords <= 0 || resp.Sample.SampledRecords >= resp.Ingest.Records {
+		t.Errorf("sampled_records = %d, want a proper subset of %d", resp.Sample.SampledRecords, resp.Ingest.Records)
+	}
+	if m := resp.Metrics[0]; m.SampleRate != 0.5 || m.SampledRecords != resp.Sample.SampledRecords {
+		t.Errorf("per-point envelope = %+v, disagrees with meta %+v", m, resp.Sample)
+	}
+	if got := vars.traceSampledRecords.Value() - sampledBefore; got != resp.Sample.SampledRecords {
+		t.Errorf("trace_sampled_records advanced by %d, want %d", got, resp.Sample.SampledRecords)
+	}
+	if got := vars.traceSampleRate.Value(); got != 0.5 {
+		t.Errorf("trace_sample_rate = %g, want 0.5", got)
+	}
+
+	// Identical sampled requests are deterministic.
+	again := decodeTrace(t, postTrace(t, s, traceQueryString+"&sample_rate=0.5&sample_seed=7", din))
+	if !reflect.DeepEqual(again.Metrics, resp.Metrics) {
+		t.Error("identical sampled requests diverge")
+	}
+
+	// An exact request resets the gauge and carries no sample envelope.
+	w = postTrace(t, s, traceQueryString, din)
+	if exact := decodeTrace(t, w); exact.Sample != nil {
+		t.Errorf("exact response carries a sample envelope: %+v", exact.Sample)
+	}
+	if bytes.Contains(w.Body.Bytes(), []byte(`"sample"`)) {
+		t.Error("exact response body mentions the sample envelope key")
+	}
+	if got := vars.traceSampleRate.Value(); got != 0 {
+		t.Errorf("trace_sample_rate = %g after an exact sweep, want 0", got)
+	}
+}
+
+// TestExploreTraceSamplingHeader drives the same options through the
+// X-Memexplore-Options JSON form.
+func TestExploreTraceSamplingHeader(t *testing.T) {
+	s := newTestServer(t)
+	header := `{"kind":"explore-trace","options":{` +
+		`"cache_sizes":[32,64],"line_sizes":[4,8],"assocs":[1],"sample_rate":0.5,"sample_seed":7}}`
+	w := postTraceHeader(t, s, header, "", kernelDin(t))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeTrace(t, w)
+	if resp.Sample == nil || resp.Sample.Rate != 0.5 || resp.Sample.Seed != 7 {
+		t.Errorf("sample envelope = %+v, want rate 0.5 seed 7", resp.Sample)
+	}
+}
+
+// TestExploreTraceDominantEps: an HTTP body is not seekable, so the
+// two-pass prefilter must spool it and still succeed.
+func TestExploreTraceDominantEps(t *testing.T) {
+	s := newTestServer(t)
+	din := kernelDin(t)
+	w := postTrace(t, s, traceQueryString+"&dominant_eps=0.1", din)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeTrace(t, w)
+	if resp.Sample == nil || resp.Sample.Rate != 0 || resp.Sample.SampledRecords <= 0 {
+		t.Fatalf("prefiltered response envelope = %+v", resp.Sample)
+	}
+	// Cold skips count as hits, so the access totals still match the
+	// stream.
+	if m := resp.Metrics[0]; int64(m.Accesses) != resp.Ingest.Records {
+		t.Errorf("accesses = %d, want %d", m.Accesses, resp.Ingest.Records)
+	}
+}
+
+// TestExploreTraceSamplingValidation rejects out-of-range knobs.
+func TestExploreTraceSamplingValidation(t *testing.T) {
+	s := newTestServer(t)
+	for _, q := range []string{"sample_rate=1.5", "sample_rate=-1", "sample_rate=abc",
+		"dominant_eps=0.9", "dominant_eps=x", "sample_seed=-1"} {
+		w := postTrace(t, s, traceQueryString+"&"+q, []byte("0 10\n"))
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", q, w.Code)
+		}
+		if e := decodeError(t, w); e.Code != "invalid_options" {
+			t.Errorf("%s: error code = %q", q, e.Code)
+		}
+	}
+}
+
 // TestExploreTraceWorkersValidation rejects malformed workers values.
 func TestExploreTraceWorkersValidation(t *testing.T) {
 	s := newTestServer(t)

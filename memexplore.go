@@ -458,6 +458,22 @@ func WriteBinaryTrace(w io.Writer, tr *Trace) (int64, error) {
 	return extrace.WriteBinary(w, tr.Reader())
 }
 
+// WriteBinaryV2Trace encodes a trace in the columnar mxt v2 format —
+// delta-compressed address column, packed kind stream, per-chunk CRC —
+// the preferred on-disk form for very large traces. Like mxt v1 it
+// round-trips every TraceRef bit-exactly through NewTraceReader.
+func WriteBinaryV2Trace(w io.Writer, tr *Trace) (int64, error) {
+	return extrace.WriteBinaryV2(w, tr.Reader())
+}
+
+// TranscodeTraceV2 re-encodes any readable trace stream (din or mxt,
+// gzip transparently detected) into the columnar mxt v2 format, writing
+// to w and reporting the encoded byte count plus the ingest profile of
+// the source stream.
+func TranscodeTraceV2(w io.Writer, r io.Reader, ing TraceIngestOptions) (int64, TraceIngestStats, error) {
+	return extrace.TranscodeV2(w, r, ing)
+}
+
 // Scratchpad types and helpers (the Panda/Dutt on-chip alternative).
 type (
 	// SPMParams fixes the scratchpad cost model.
