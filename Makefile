@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test short bench bench-sweep bench-trace bench-service bench-guard figs exhibits fuzz cover clean check serve
+.PHONY: all build vet test short bench bench-sweep bench-trace bench-service bench-search bench-guard figs exhibits fuzz cover clean check serve
 
 all: build vet test
 
@@ -16,13 +16,14 @@ test:
 	$(GO) test ./...
 
 # Tier-1 plus the race-sensitive packages (the service, the async job
-# subsystem, the context-aware exploration core and the pooled sweep
-# engines) under the race detector, plus a short fuzz pass over the
-# external-trace parser.
+# subsystem, the context-aware exploration core, the pooled sweep
+# engines and the guided search) under the race detector, plus short
+# fuzz passes over the external-trace parser and the genome repair.
 check: build vet test
-	$(GO) test -race ./internal/service ./internal/jobs ./internal/core ./internal/cachesim ./internal/extrace
+	$(GO) test -race ./internal/service ./internal/jobs ./internal/core ./internal/cachesim ./internal/extrace ./internal/search
 	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseDin -fuzztime 5s
 	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseBinaryV2 -fuzztime 5s
+	$(GO) test ./internal/search -run '^$$' -fuzz FuzzGenome -fuzztime 5s
 
 # Run the memexplored HTTP service (see docs/SERVICE.md).
 serve:
@@ -48,6 +49,12 @@ bench-sweep:
 # for curation into BENCH_trace.json.
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkExploreDinTrace|BenchmarkExploreTraceSampled' -benchmem -count 3 . | tee BENCH_trace.out
+
+# Guided search vs exhaustive sweep at matched budgets on an enlarged
+# configuration space; the raw runs land in BENCH_search.out for
+# curation into BENCH_search.json.
+bench-search:
+	$(GO) test -run '^$$' -bench BenchmarkSearch -benchmem -count 3 . | tee BENCH_search.out
 
 # Service-level load test: p50/p99 latencies of the synchronous
 # /v1/explore endpoint and the async job pipeline against an in-process
@@ -76,6 +83,7 @@ fuzz:
 	$(GO) test ./internal/extrace -fuzz FuzzParseDin -fuzztime 30s
 	$(GO) test ./internal/extrace -fuzz FuzzParseBinaryV2 -fuzztime 30s
 	$(GO) test ./internal/cachesim -fuzz FuzzPerSetStacks -fuzztime 30s
+	$(GO) test ./internal/search -fuzz FuzzGenome -fuzztime 30s
 
 cover:
 	$(GO) test -cover ./...

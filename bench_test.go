@@ -25,6 +25,7 @@ import (
 	"memexplore/internal/figures"
 	"memexplore/internal/kernels"
 	"memexplore/internal/loopir"
+	"memexplore/internal/search"
 )
 
 // runExhibit executes one figure/table generator b.N times, failing the
@@ -399,3 +400,69 @@ func BenchmarkExtEmCrossover(b *testing.B) { runExhibit(b, "ext-crossover") }
 // BenchmarkExtAutotune regenerates the transformation × cache codesign
 // search on the transpose kernel.
 func BenchmarkExtAutotune(b *testing.B) { runExhibit(b, "ext-autotune") }
+
+// BenchmarkSearch compares the guided NSGA-II search (internal/search)
+// against the exhaustive sweep on an enlarged configuration space —
+// the search's reason to exist. The exhaustive baseline reports the
+// space size; the guided runs report their evaluation spend and the
+// fraction of the exhaustive Pareto hypervolume their archive recovers
+// (hv_frac 1.0 = the evolved archive matches the true frontier). The
+// numbers for the record live in BENCH_search.json; refresh them with
+// `make bench-search`.
+func BenchmarkSearch(b *testing.B) {
+	n := kernels.Compress()
+	opts := core.DefaultOptions()
+	opts.CacheSizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+		8192, 16384, 32768, 65536, 131072, 262144}
+	opts.LineSizes = []int{4, 8, 16, 32, 64, 128, 256}
+	opts.Assocs = []int{1, 2, 4, 8}
+	opts.Tilings = make([]int, 64)
+	for i := range opts.Tilings {
+		opts.Tilings[i] = i + 1
+	}
+	opts = opts.Normalize()
+	ctx := context.Background()
+	workers := runtime.NumCPU()
+
+	full, err := core.ExploreParallelContext(ctx, n, opts, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var refC, refE float64
+	for _, m := range full {
+		refC = max(refC, m.Cycles)
+		refE = max(refE, m.EnergyNJ)
+	}
+	refC, refE = refC*1.01+1, refE*1.01+1
+	hvFull := search.Hypervolume(core.ParetoFrontier(full), refC, refE)
+
+	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ms, err := core.ExploreParallelContext(ctx, n, opts, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(ms)), "points")
+			}
+		}
+	})
+	for _, evals := range []int{500, 1500} {
+		b.Run("guided-"+strconv.Itoa(evals), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Kernel(ctx, n, opts, search.Options{Seed: 7},
+					search.Budget{MaxEvaluations: evals}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Evaluations), "evals")
+					b.ReportMetric(float64(res.Generations), "gens")
+					b.ReportMetric(search.Hypervolume(res.Archive, refC, refE)/hvFull, "hv_frac")
+				}
+			}
+		})
+	}
+}

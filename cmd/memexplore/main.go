@@ -10,6 +10,7 @@
 //	memexplore -trace app.din.gz
 //	memexplore -trace app.din.gz -convert app.mxt.gz
 //	memexplore -trace app.mxt.gz -sample-rate 0.01 -dominant-eps 0.05
+//	memexplore -search -budget-evals 2000 -seed 7 -sizes 16,32,...,1048576
 //	memexplore -list
 //	memexplore -server http://localhost:8080 -kernel compress -wait
 //	memexplore -server http://localhost:8080 -job 4f1c... -wait
@@ -18,6 +19,11 @@
 // mxt binary, optionally gzipped; "-" reads stdin) streamed through the
 // sweep in one constant-memory pass instead of a generated kernel.
 //
+// With -search the configuration space is explored by a budgeted,
+// seeded NSGA-II evolution (see docs/SEARCH.md) instead of an
+// exhaustive sweep — for spaces too large to enumerate. The report is
+// the evolved Pareto archive rather than the full sweep.
+//
 // With -server the sweep is submitted to a running memexplored as an
 // async job instead of running locally; -wait polls it to completion
 // and renders the result, and -job fetches or awaits an existing job id.
@@ -25,6 +31,7 @@ package main
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -34,6 +41,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"memexplore"
 	"memexplore/internal/report"
@@ -71,6 +79,12 @@ func main() {
 		convertPath = flag.String("convert", "", "with -trace, transcode the trace to columnar mxt v2 at this path instead of sweeping ('-' for stdout, .gz compresses)")
 		engineName  = flag.String("engine", "auto", "sweep engine: auto, per-point, batched, inclusion (debugging/benchmarking; results are identical)")
 		simWorkers  = flag.Int("workers", 0, "simulation workers fanning each trace chunk across pass-unit shards (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		searchMode  = flag.Bool("search", false, "run a budgeted NSGA-II search over the configuration space instead of an exhaustive sweep")
+		budgetEvals = flag.Int("budget-evals", 0, "with -search, stop once this many distinct configurations have been evaluated (default 2000 when no other bound is set)")
+		budgetGens  = flag.Int("budget-gens", 0, "with -search, stop after this many generations (0 = unbounded)")
+		budgetMS    = flag.Int64("budget-ms", 0, "with -search, stop after this wall-clock budget in milliseconds (0 = unbounded; breaks bit-reproducibility)")
+		searchSeed  = flag.Uint64("seed", 0, "with -search, random seed — the same seed and budget reproduce the archive exactly")
+		popSize     = flag.Int("pop", 0, "with -search, NSGA-II population size (0 = default)")
 		serverURL   = flag.String("server", "", "submit the sweep to this memexplored base URL as an async job instead of running locally")
 		jobID       = flag.String("job", "", "with -server, fetch (or with -wait, await) this existing job id instead of submitting")
 		waitJob     = flag.Bool("wait", false, "with -server, poll the job until it finishes and render its result")
@@ -110,6 +124,9 @@ func main() {
 		if *serverURL == "" {
 			fatal(fmt.Errorf("-job requires -server"))
 		}
+		if *searchMode {
+			fatal(fmt.Errorf("-search runs locally; POST the request to the server's /v1/search endpoint instead"))
+		}
 		ing := memexplore.TraceIngestOptions{MaxRecords: *maxRecords, SkipMalformed: *skipBad}
 		ro := reportOpts{top: *top, cycleBound: *cycleBound, energyBound: *energyBound, pareto: *pareto}
 		if err := runClient(*serverURL, *jobID, *waitJob, *tracePath,
@@ -132,6 +149,29 @@ func main() {
 		}
 		ing := memexplore.TraceIngestOptions{MaxRecords: *maxRecords, SkipMalformed: *skipBad}
 		if err := runConvert(*tracePath, *convertPath, ing); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *searchMode {
+		if *icacheMode || *program != "" {
+			fatal(fmt.Errorf("-search explores a data cache for one kernel or trace; it cannot combine with -icache or -program"))
+		}
+		sopts := memexplore.SearchOptions{Seed: *searchSeed, PopSize: *popSize}
+		budget := memexplore.SearchBudget{
+			MaxEvaluations: *budgetEvals,
+			MaxGenerations: *budgetGens,
+			WallClock:      time.Duration(*budgetMS) * time.Millisecond,
+		}
+		if budget.MaxEvaluations == 0 && budget.MaxGenerations == 0 && budget.WallClock == 0 {
+			budget.MaxEvaluations = 2000
+		}
+		ing := memexplore.TraceIngestOptions{MaxRecords: *maxRecords, SkipMalformed: *skipBad}
+		err := runSearch(*kernelName, *kernelFile, *tracePath, opts, ing, sopts, budget,
+			*workers, *csvPath, *jsonPath,
+			reportOpts{top: *top, cycleBound: *cycleBound, energyBound: *energyBound, pareto: *pareto})
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -269,6 +309,60 @@ func reportSweep(ms []memexplore.Metrics, ro reportOpts) error {
 
 // runTrace streams a recorded trace file through the sweep and reports
 // the ingest profile alongside the usual sweep summary.
+// runSearch runs the budgeted NSGA-II search over a kernel or trace
+// workload and reports the evolved Pareto archive with the usual sweep
+// report (the "evaluated" counts in the tables are archive sizes, since
+// only the archive survives the search).
+func runSearch(kernelName, kernelFile, tracePath string, opts memexplore.Options,
+	ing memexplore.TraceIngestOptions, sopts memexplore.SearchOptions,
+	budget memexplore.SearchBudget, workers int, csvPath, jsonPath string, ro reportOpts) error {
+	var res memexplore.SearchResult
+	if tracePath != "" {
+		if tracePath == "-" {
+			return fmt.Errorf("-search needs a seekable trace file, not stdin: each generation rewinds and re-streams the trace")
+		}
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var st memexplore.TraceIngestStats
+		res, st, err = memexplore.SearchTrace(context.Background(), f, opts, ing, sopts, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace %s: %s\n", tracePath, st)
+	} else {
+		kern, err := loadKernel(kernelName, kernelFile)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("kernel %s:\n%s\n", kern.Name, kern)
+		res, err = memexplore.SearchKernel(context.Background(), kern, opts, sopts, budget, workers)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("guided search: evaluated %d of %d configurations in %d generations (%d memo hits), stopped by %s\n",
+		res.Evaluations, res.SpacePoints, res.Generations, res.MemoHits, res.Stopped)
+	fmt.Printf("Pareto archive: %d configurations\n\n", len(res.Archive))
+
+	if csvPath != "" {
+		if err := writeCSV(csvPath, res.Archive); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, res.Archive); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" || jsonPath != "" {
+		return nil
+	}
+	return reportSweep(res.Archive, ro)
+}
+
 func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOptions,
 	csvPath, jsonPath string, ro reportOpts) error {
 	var in io.Reader = os.Stdin

@@ -146,7 +146,17 @@ func Tune(n *loopir.Nest, cfg Config) ([]Result, int, error) {
 		}
 	}
 	if best < 0 {
-		return nil, 0, fmt.Errorf("autotune: no variant fits the budget of %d bytes", cfg.BudgetBytes)
+		return nil, 0, noFitError(cfg.BudgetBytes)
 	}
 	return out, best, nil
+}
+
+// noFitError reports that no variant admitted a joint cache selection,
+// naming the budget only when one was actually set — an unbounded search
+// (BudgetBytes 0) must not claim a "budget of 0 bytes" was missed.
+func noFitError(budgetBytes int) error {
+	if budgetBytes > 0 {
+		return fmt.Errorf("autotune: no variant fits the budget of %d bytes", budgetBytes)
+	}
+	return fmt.Errorf("autotune: no variant admits a joint cache selection")
 }

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"strings"
 	"testing"
 
 	"memexplore/internal/cachesim"
@@ -149,5 +150,25 @@ func TestTuneValidatesOptions(t *testing.T) {
 	cfg.Options = core.Options{}
 	if _, _, err := Tune(kernels.Compress(), cfg); err == nil {
 		t.Error("invalid options should fail")
+	}
+}
+
+func TestNoFitErrorMessage(t *testing.T) {
+	if got := noFitError(96).Error(); !strings.Contains(got, "budget of 96 bytes") {
+		t.Errorf("bounded message %q does not name the budget", got)
+	}
+	got := noFitError(0).Error()
+	if strings.Contains(got, "budget of 0 bytes") {
+		t.Errorf("unbounded message %q claims a zero-byte budget", got)
+	}
+	if !strings.Contains(got, "no variant") {
+		t.Errorf("unbounded message %q does not explain the failure", got)
+	}
+	// An impossible real budget surfaces the bounded message through Tune.
+	cfg := smallConfig()
+	cfg.BudgetBytes = 16
+	if _, _, err := Tune(kernels.Compress(), cfg); err == nil ||
+		!strings.Contains(err.Error(), "budget of 16 bytes") {
+		t.Errorf("Tune error = %v, want the bounded no-fit message", err)
 	}
 }

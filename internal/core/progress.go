@@ -43,3 +43,12 @@ func progressFrom(ctx context.Context) ProgressFunc {
 	fn, _ := ctx.Value(progressCtxKey{}).(ProgressFunc)
 	return fn
 }
+
+// ProgressFromContext returns the callback WithProgress installed on the
+// context (nil when none). It is exported so sibling subsystems — the
+// guided search layer emits one event per generation retirement — can
+// report through the same channel the sweep engines use. Installing a
+// nil callback with WithProgress silences any engine running under that
+// context, which is how search keeps engine pass units out of its own
+// generation-level accounting.
+func ProgressFromContext(ctx context.Context) ProgressFunc { return progressFrom(ctx) }

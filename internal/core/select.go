@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 )
 
@@ -72,9 +71,23 @@ func MinSizeUnderBounds(ms []Metrics, cycleBound, energyBoundNJ float64) (Metric
 	})
 }
 
+// Dominates reports whether a Pareto-dominates b in the (cycles, energy)
+// plane: no worse in both objectives and strictly better in at least one.
+// Two points that tie in both objectives do not dominate each other. It
+// is the primitive ParetoFrontier and the guided-search archive
+// (internal/search) are built on.
+func Dominates(a, b Metrics) bool {
+	if a.Cycles > b.Cycles || a.EnergyNJ > b.EnergyNJ {
+		return false
+	}
+	return a.Cycles < b.Cycles || a.EnergyNJ < b.EnergyNJ
+}
+
 // ParetoFrontier returns the configurations that are Pareto-optimal in the
 // (cycles, energy) plane, sorted by increasing cycles. These are the
-// energy–time tradeoff points the paper's conclusion describes.
+// energy–time tradeoff points the paper's conclusion describes. Of points
+// that tie in both objectives, the first (in the sorted order, which is
+// stable over the input order) is kept.
 func ParetoFrontier(ms []Metrics) []Metrics {
 	if len(ms) == 0 {
 		return nil
@@ -86,13 +99,15 @@ func ParetoFrontier(ms []Metrics) []Metrics {
 		}
 		return sorted[i].EnergyNJ < sorted[j].EnergyNJ
 	})
-	var out []Metrics
-	best := math.Inf(1)
-	for _, m := range sorted {
-		if m.EnergyNJ < best {
-			out = append(out, m)
-			best = m.EnergyNJ
+	// After the sort, a candidate can only be dominated by (or tie) the
+	// last point kept, so one comparison per element suffices.
+	out := []Metrics{sorted[0]}
+	for _, m := range sorted[1:] {
+		last := out[len(out)-1]
+		if Dominates(last, m) || (last.Cycles == m.Cycles && last.EnergyNJ == m.EnergyNJ) {
+			continue
 		}
+		out = append(out, m)
 	}
 	return out
 }

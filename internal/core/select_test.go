@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func m(cycles, energyNJ float64) Metrics {
+	return Metrics{Cycles: cycles, EnergyNJ: energyNJ}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Metrics
+		want bool
+	}{
+		{"strictly better both", m(1, 1), m(2, 2), true},
+		{"strictly worse both", m(2, 2), m(1, 1), false},
+		{"tie cycles, better energy", m(1, 1), m(1, 2), true},
+		{"tie cycles, worse energy", m(1, 2), m(1, 1), false},
+		{"tie energy, better cycles", m(1, 1), m(2, 1), true},
+		{"tie energy, worse cycles", m(2, 1), m(1, 1), false},
+		{"identical", m(1, 1), m(1, 1), false},
+		{"trade-off a faster", m(1, 2), m(2, 1), false},
+		{"trade-off a cooler", m(2, 1), m(1, 2), false},
+	}
+	for _, tc := range cases {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Dominates(%v, %v) = %v, want %v",
+				tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+	// Mutual domination is impossible by construction.
+	for _, tc := range cases {
+		if Dominates(tc.a, tc.b) && Dominates(tc.b, tc.a) {
+			t.Errorf("%s: mutual domination", tc.name)
+		}
+	}
+}
+
+func TestParetoFrontierTies(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Metrics
+		want []Metrics
+	}{
+		{"empty", nil, nil},
+		{"single", []Metrics{m(1, 1)}, []Metrics{m(1, 1)}},
+		{
+			"duplicate point collapses",
+			[]Metrics{m(2, 2), m(2, 2), m(2, 2)},
+			[]Metrics{m(2, 2)},
+		},
+		{
+			"tie in cycles keeps the lower energy",
+			[]Metrics{m(1, 5), m(1, 3), m(2, 2)},
+			[]Metrics{m(1, 3), m(2, 2)},
+		},
+		{
+			"tie in energy keeps the lower cycles",
+			[]Metrics{m(3, 1), m(2, 1), m(1, 2)},
+			[]Metrics{m(1, 2), m(2, 1)},
+		},
+		{
+			"dominated interior removed",
+			[]Metrics{m(1, 4), m(3, 3), m(2, 2), m(4, 1)},
+			[]Metrics{m(1, 4), m(2, 2), m(4, 1)},
+		},
+		{
+			"all tied", []Metrics{m(1, 1), m(1, 1)},
+			[]Metrics{m(1, 1)},
+		},
+	}
+	for _, tc := range cases {
+		got := ParetoFrontier(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: frontier %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i].Cycles != tc.want[i].Cycles || got[i].EnergyNJ != tc.want[i].EnergyNJ {
+				t.Errorf("%s: frontier[%d] = %v, want %v", tc.name, i, got[i], tc.want[i])
+			}
+		}
+		// Frontier invariants: no member dominates another, and every
+		// input is dominated by or equal to some member.
+		for i := range got {
+			for j := range got {
+				if i != j && Dominates(got[i], got[j]) {
+					t.Errorf("%s: frontier member dominates another", tc.name)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundSelectors(t *testing.T) {
+	ms := []Metrics{
+		{CacheSize: 64, Cycles: 100, EnergyNJ: 10},
+		{CacheSize: 128, Cycles: 80, EnergyNJ: 20},
+		{CacheSize: 256, Cycles: 60, EnergyNJ: 40},
+	}
+
+	got, ok := MinEnergyUnderCycleBound(ms, 90)
+	if !ok || got.CacheSize != 128 {
+		t.Errorf("MinEnergyUnderCycleBound(90) = %+v ok=%v, want the 128-byte point", got, ok)
+	}
+	if _, ok := MinEnergyUnderCycleBound(ms, 10); ok {
+		t.Error("MinEnergyUnderCycleBound: impossible bound reported ok")
+	}
+	if got, ok := MinEnergyUnderCycleBound(ms, math.Inf(1)); !ok || got.CacheSize != 64 {
+		t.Errorf("MinEnergyUnderCycleBound(+Inf) = %+v ok=%v, want global min energy", got, ok)
+	}
+
+	got, ok = MinCyclesUnderEnergyBound(ms, 25)
+	if !ok || got.CacheSize != 128 {
+		t.Errorf("MinCyclesUnderEnergyBound(25) = %+v ok=%v, want the 128-byte point", got, ok)
+	}
+	if _, ok := MinCyclesUnderEnergyBound(ms, 5); ok {
+		t.Error("MinCyclesUnderEnergyBound: impossible bound reported ok")
+	}
+	if got, ok := MinCyclesUnderEnergyBound(ms, math.Inf(1)); !ok || got.CacheSize != 256 {
+		t.Errorf("MinCyclesUnderEnergyBound(+Inf) = %+v ok=%v, want global min cycles", got, ok)
+	}
+
+	got, ok = MinSizeUnderBounds(ms, 90, 25)
+	if !ok || got.CacheSize != 128 {
+		t.Errorf("MinSizeUnderBounds(90, 25) = %+v ok=%v, want the 128-byte point", got, ok)
+	}
+	if got, ok := MinSizeUnderBounds(ms, math.Inf(1), math.Inf(1)); !ok || got.CacheSize != 64 {
+		t.Errorf("MinSizeUnderBounds(+Inf, +Inf) = %+v ok=%v, want smallest cache", got, ok)
+	}
+	if _, ok := MinSizeUnderBounds(ms, 10, 5); ok {
+		t.Error("MinSizeUnderBounds: impossible bounds reported ok")
+	}
+	if _, ok := MinSizeUnderBounds(nil, math.Inf(1), math.Inf(1)); ok {
+		t.Error("MinSizeUnderBounds(empty) reported ok")
+	}
+	// Equal cache sizes break the tie by energy.
+	tied := []Metrics{
+		{CacheSize: 64, Cycles: 50, EnergyNJ: 9},
+		{CacheSize: 64, Cycles: 40, EnergyNJ: 7},
+	}
+	if got, ok := MinSizeUnderBounds(tied, math.Inf(1), math.Inf(1)); !ok || got.EnergyNJ != 7 {
+		t.Errorf("MinSizeUnderBounds tie-break = %+v ok=%v, want the 7 nJ point", got, ok)
+	}
+
+	if _, ok := MinEnergyUnderCycleBound(nil, math.Inf(1)); ok {
+		t.Error("MinEnergyUnderCycleBound(empty) reported ok")
+	}
+	if _, ok := MinCyclesUnderEnergyBound(nil, math.Inf(1)); ok {
+		t.Error("MinCyclesUnderEnergyBound(empty) reported ok")
+	}
+}

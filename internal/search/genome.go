@@ -1,0 +1,267 @@
+package search
+
+// Genome encoding. A genome is a vector of gene indices, one per search
+// dimension, each indexing into that dimension's ascending candidate
+// list from the sweep options. Index encoding (rather than raw values)
+// keeps every bit pattern meaningful after clamping, makes ±1 creep
+// mutation a move to the adjacent candidate, and leaves room for future
+// dimensions (hierarchy levels, cell technology) as appended genes.
+//
+// Not every gene vector decodes to a legal sweep point — the paper's
+// constraints (L < T, S ≤ T/L, B ≤ T/L) couple the dimensions — so the
+// operators always pass their output through Repair, a deterministic
+// cascade that maps any vector to a nearby legal genome.
+
+import (
+	"memexplore/internal/core"
+)
+
+// Gene positions of a genome. The order is part of the encoding: new
+// dimensions append here.
+const (
+	dimCacheSize = iota
+	dimLineSize
+	dimAssoc
+	dimTiling
+	numDims
+)
+
+// Genome is one candidate configuration, encoded as gene indices into
+// the space's per-dimension candidate lists.
+type Genome [numDims]int
+
+// Space is the gene domain built from normalized sweep options: the
+// per-dimension candidate values, the legal-point count, and the repair
+// fallback. Build with NewSpace; the zero value is not useful.
+type Space struct {
+	dims   [numDims][]int
+	points int
+	first  Genome // first legal genome in Space() order, the repair fallback
+}
+
+// NewSpace builds the search space for a sweep's options. The options
+// are normalized first (candidate lists sorted and deduped), MaxOnChip
+// prunes the cache-size dimension up front, and options that admit no
+// legal configuration are rejected.
+func NewSpace(opts core.Options) (*Space, error) {
+	opts = opts.Normalize()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	sizes := opts.CacheSizes
+	if opts.MaxOnChip > 0 {
+		sizes = nil
+		for _, t := range opts.CacheSizes {
+			if t <= opts.MaxOnChip {
+				sizes = append(sizes, t)
+			}
+		}
+	}
+	s := &Space{}
+	s.dims[dimCacheSize] = sizes
+	s.dims[dimLineSize] = opts.LineSizes
+	s.dims[dimAssoc] = opts.Assocs
+	s.dims[dimTiling] = opts.Tilings
+	// Count the legal points and find the first legal genome in one scan
+	// (iteration order matches core.Options.Space). The candidate lists
+	// are ascending, so the legal S and B values for a (T, L) pair are a
+	// prefix of their lists.
+	found := false
+	for ti, t := range s.dims[dimCacheSize] {
+		for li, l := range s.dims[dimLineSize] {
+			if l >= t {
+				continue
+			}
+			sCnt := prefixWithin(s.dims[dimAssoc], t/l)
+			bCnt := prefixWithin(s.dims[dimTiling], t/l)
+			if sCnt == 0 || bCnt == 0 {
+				continue
+			}
+			s.points += sCnt * bCnt
+			if !found {
+				s.first = Genome{ti, li, 0, 0}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil, invalid("options", "the options admit no legal (T, L, S, B) configuration")
+	}
+	return s, nil
+}
+
+// prefixWithin returns how many leading values of the ascending list are
+// ≤ max.
+func prefixWithin(vals []int, max int) int {
+	n := 0
+	for _, v := range vals {
+		if v > max {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Points returns the number of legal configurations in the space — what
+// an exhaustive sweep would evaluate.
+func (s *Space) Points() int { return s.points }
+
+// Decode maps an in-range genome to its configuration point.
+func (s *Space) Decode(g Genome) core.ConfigPoint {
+	return core.ConfigPoint{
+		CacheSize: s.dims[dimCacheSize][g[dimCacheSize]],
+		LineSize:  s.dims[dimLineSize][g[dimLineSize]],
+		Assoc:     s.dims[dimAssoc][g[dimAssoc]],
+		Tiling:    s.dims[dimTiling][g[dimTiling]],
+	}
+}
+
+// Encode maps a configuration point back to its genome; ok is false when
+// a value is not a candidate of its dimension.
+func (s *Space) Encode(p core.ConfigPoint) (Genome, bool) {
+	var g Genome
+	for d, v := range [numDims]int{p.CacheSize, p.LineSize, p.Assoc, p.Tiling} {
+		i := indexOf(s.dims[d], v)
+		if i < 0 {
+			return Genome{}, false
+		}
+		g[d] = i
+	}
+	return g, true
+}
+
+func indexOf(vals []int, v int) int {
+	for i, x := range vals {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Legal reports whether the genome is in range and decodes to a point
+// satisfying the sweep constraints.
+func (s *Space) Legal(g Genome) bool {
+	for d := 0; d < numDims; d++ {
+		if g[d] < 0 || g[d] >= len(s.dims[d]) {
+			return false
+		}
+	}
+	p := s.Decode(g)
+	return p.LineSize < p.CacheSize &&
+		p.Assoc <= p.CacheSize/p.LineSize &&
+		p.Tiling <= p.CacheSize/p.LineSize
+}
+
+// Repair maps an arbitrary gene vector to a nearby legal genome,
+// deterministically: indices are clamped into range, then the cache size
+// is grown (wrapping to the small sizes only when no larger one works,
+// since every constraint relaxes as T grows) and the line size shrunk
+// (wrapping to larger lines last) until the pair admits the point, with
+// the associativity and tiling genes clamped down to the largest
+// candidate within T/L. The result depends only on the input genome —
+// never on evaluation order or randomness — so repair composes with the
+// seeded operators without breaking reproducibility.
+func (s *Space) Repair(g Genome) Genome {
+	for d := 0; d < numDims; d++ {
+		g[d] = clampIndex(g[d], len(s.dims[d]))
+	}
+	nT := len(s.dims[dimCacheSize])
+	nL := len(s.dims[dimLineSize])
+	for dt := 0; dt < nT; dt++ {
+		ti := g[dimCacheSize] + dt
+		if ti >= nT {
+			ti -= nT
+		}
+		t := s.dims[dimCacheSize][ti]
+		for dl := 0; dl < nL; dl++ {
+			li := g[dimLineSize] - dl
+			if li < 0 {
+				li += nL
+			}
+			l := s.dims[dimLineSize][li]
+			if l >= t {
+				continue
+			}
+			si, ok := largestWithin(s.dims[dimAssoc], g[dimAssoc], t/l)
+			if !ok {
+				continue
+			}
+			bi, ok := largestWithin(s.dims[dimTiling], g[dimTiling], t/l)
+			if !ok {
+				continue
+			}
+			return Genome{ti, li, si, bi}
+		}
+	}
+	// Unreachable for a space NewSpace accepted, but keep a total function.
+	return s.first
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// largestWithin returns the largest index ≤ from whose (ascending) value
+// is ≤ max; ok is false when even the smallest candidate exceeds max.
+func largestWithin(vals []int, from, max int) (int, bool) {
+	i := from
+	if i >= len(vals) {
+		i = len(vals) - 1
+	}
+	for i >= 0 && vals[i] > max {
+		i--
+	}
+	if i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// randomGenome draws a uniform gene vector and repairs it.
+func (s *Space) randomGenome(r *rng) Genome {
+	var g Genome
+	for d := 0; d < numDims; d++ {
+		g[d] = r.intn(len(s.dims[d]))
+	}
+	return s.Repair(g)
+}
+
+// crossover performs uniform crossover: each gene swaps between the two
+// children with probability 1/2.
+func crossover(r *rng, a, b Genome) (Genome, Genome) {
+	for d := 0; d < numDims; d++ {
+		if r.intn(2) == 1 {
+			a[d], b[d] = b[d], a[d]
+		}
+	}
+	return a, b
+}
+
+// mutate perturbs genes: with probability rate per gene, a coin flip
+// picks a ±1 creep (exploiting the ordered dimensions) or a uniform
+// reset. The caller repairs the result.
+func (s *Space) mutate(r *rng, g Genome, rate float64) Genome {
+	for d := 0; d < numDims; d++ {
+		if len(s.dims[d]) < 2 || r.float64() >= rate {
+			continue
+		}
+		if r.intn(2) == 0 {
+			if r.intn(2) == 0 {
+				g[d]++
+			} else {
+				g[d]--
+			}
+		} else {
+			g[d] = r.intn(len(s.dims[d]))
+		}
+	}
+	return g
+}

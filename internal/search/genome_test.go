@@ -1,0 +1,187 @@
+package search
+
+import (
+	"testing"
+
+	"memexplore/internal/core"
+)
+
+func testOptions() core.Options {
+	return core.Options{
+		CacheSizes: []int{16, 32, 64, 128, 256, 512, 1024},
+		LineSizes:  []int{4, 8, 16, 32, 64},
+		Assocs:     []int{1, 2, 4, 8},
+		Tilings:    []int{1, 2, 4, 8, 16},
+	}
+}
+
+func TestNewSpaceMatchesEnumeration(t *testing.T) {
+	for name, opts := range map[string]core.Options{
+		"default":   core.DefaultOptions(),
+		"test":      testOptions(),
+		"maxonchip": func() core.Options { o := testOptions(); o.MaxOnChip = 128; return o }(),
+		"tiny": {
+			CacheSizes: []int{16, 32},
+			LineSizes:  []int{4, 8},
+			Assocs:     []int{1, 2},
+			Tilings:    []int{1},
+		},
+	} {
+		space, err := NewSpace(opts)
+		if err != nil {
+			t.Fatalf("%s: NewSpace: %v", name, err)
+		}
+		enum := opts.Normalize().Space()
+		if space.Points() != len(enum) {
+			t.Errorf("%s: Points() = %d, want %d (core enumeration)", name, space.Points(), len(enum))
+		}
+		// Every enumerated point round-trips through Encode/Decode and is
+		// a fixed point of Repair.
+		for _, p := range enum {
+			g, ok := space.Encode(p)
+			if !ok {
+				t.Fatalf("%s: Encode(%+v) not found", name, p)
+			}
+			if !space.Legal(g) {
+				t.Fatalf("%s: Encode(%+v) = %v not legal", name, p, g)
+			}
+			if got := space.Decode(g); got != p {
+				t.Fatalf("%s: Decode(Encode(%+v)) = %+v", name, p, got)
+			}
+			if rep := space.Repair(g); rep != g {
+				t.Fatalf("%s: Repair(%v) = %v, want unchanged for a legal genome", name, g, rep)
+			}
+		}
+	}
+}
+
+func TestNewSpaceRejectsEmptySpace(t *testing.T) {
+	opts := core.Options{
+		CacheSizes: []int{16},
+		LineSizes:  []int{16, 32}, // every L ≥ T
+		Assocs:     []int{1},
+		Tilings:    []int{1},
+	}
+	if _, err := NewSpace(opts); err == nil {
+		t.Fatal("NewSpace accepted options with no legal configuration")
+	}
+	opts.MaxOnChip = 8 // prunes every cache size
+	opts.LineSizes = []int{4}
+	if _, err := NewSpace(opts); err == nil {
+		t.Fatal("NewSpace accepted options whose MaxOnChip prunes every size")
+	}
+}
+
+func TestRepairAllVectors(t *testing.T) {
+	space, err := NewSpace(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every in-range gene vector — legal or not — must repair to a legal
+	// genome, and repair must be idempotent.
+	var g Genome
+	for g[0] = 0; g[0] < len(space.dims[0]); g[0]++ {
+		for g[1] = 0; g[1] < len(space.dims[1]); g[1]++ {
+			for g[2] = 0; g[2] < len(space.dims[2]); g[2]++ {
+				for g[3] = 0; g[3] < len(space.dims[3]); g[3]++ {
+					rep := space.Repair(g)
+					if !space.Legal(rep) {
+						t.Fatalf("Repair(%v) = %v not legal", g, rep)
+					}
+					if again := space.Repair(rep); again != rep {
+						t.Fatalf("Repair not idempotent: %v -> %v -> %v", g, rep, again)
+					}
+				}
+			}
+		}
+	}
+	// Out-of-range indices clamp first.
+	for _, g := range []Genome{
+		{-5, -5, -5, -5},
+		{999, 999, 999, 999},
+		{-1, 999, -1, 999},
+	} {
+		if rep := space.Repair(g); !space.Legal(rep) {
+			t.Errorf("Repair(%v) = %v not legal", g, rep)
+		}
+	}
+}
+
+func TestRepairPrefersNearbyCacheSize(t *testing.T) {
+	space, err := NewSpace(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T=16, L=64 is illegal (L ≥ T). Repair keeps T where possible by
+	// shrinking L first: the cascade grows T only when no line size works.
+	g := Genome{0, 4, 0, 0} // T=16, L=64, S=1, B=1
+	rep := space.Repair(g)
+	if p := space.Decode(rep); p.CacheSize != 16 {
+		t.Errorf("Repair(%v) moved cache size to %d, want 16 kept with a smaller line", g, p.CacheSize)
+	}
+}
+
+func TestOperatorsStayInRange(t *testing.T) {
+	space, err := NewSpace(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRNG(7)
+	for i := 0; i < 1000; i++ {
+		a, b := space.randomGenome(r), space.randomGenome(r)
+		if !space.Legal(a) || !space.Legal(b) {
+			t.Fatalf("randomGenome produced illegal genome: %v %v", a, b)
+		}
+		c, d := crossover(r, a, b)
+		for _, g := range []Genome{c, d} {
+			m := space.Repair(space.mutate(r, g, 0.5))
+			if !space.Legal(m) {
+				t.Fatalf("mutate+Repair produced illegal genome %v", m)
+			}
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+	if newRNG(1).next() == newRNG(2).next() {
+		t.Fatal("different seeds collided on first draw")
+	}
+	f := newRNG(3).float64()
+	if f < 0 || f >= 1 {
+		t.Fatalf("float64() = %g out of [0, 1)", f)
+	}
+}
+
+// FuzzGenome feeds arbitrary gene vectors (well out of range) through the
+// repair/encode/decode cycle: Repair must never panic and must always
+// yield a legal genome that round-trips through the point encoding.
+func FuzzGenome(f *testing.F) {
+	space, err := NewSpace(testOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0, 0, 0, 0)
+	f.Add(-1, 99, 3, -7)
+	f.Add(1<<30, -(1 << 30), 2, 5)
+	f.Fuzz(func(t *testing.T, a, b, c, d int) {
+		g := Genome{a, b, c, d}
+		rep := space.Repair(g)
+		if !space.Legal(rep) {
+			t.Fatalf("Repair(%v) = %v not legal", g, rep)
+		}
+		p := space.Decode(rep)
+		back, ok := space.Encode(p)
+		if !ok || back != rep {
+			t.Fatalf("Encode(Decode(%v)) = %v ok=%v, want round-trip", rep, back, ok)
+		}
+		if again := space.Repair(rep); again != rep {
+			t.Fatalf("Repair not idempotent on %v", rep)
+		}
+	})
+}

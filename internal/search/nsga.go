@@ -1,0 +1,179 @@
+package search
+
+// NSGA-II machinery: fast non-dominated sorting, crowding distance, the
+// crowded-comparison tournament, and the elitist environmental selection
+// the run loop uses. Every tie breaks by slice index, so selection
+// depends only on the seeded operator randomness — never on map order or
+// sort instability — which is what makes archives bit-identical across
+// runs and worker counts.
+
+import (
+	"math"
+	"sort"
+
+	"memexplore/internal/core"
+)
+
+// individual pairs a genome with its evaluated metrics and the NSGA-II
+// bookkeeping sortFronts fills in.
+type individual struct {
+	genome  Genome
+	metrics core.Metrics
+	rank    int     // front index, 0 = non-dominated
+	crowd   float64 // crowding distance within the front
+}
+
+// sortFronts partitions the population into non-dominated fronts (front
+// 0 is the population's Pareto set, front 1 the Pareto set of the rest,
+// and so on), filling each individual's rank and crowding distance.
+// Fronts list member indices in ascending order.
+func sortFronts(pop []individual) [][]int {
+	n := len(pop)
+	dominated := make([][]int, n) // dominated[i]: indices i dominates
+	domCount := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case core.Dominates(pop[i].metrics, pop[j].metrics):
+				dominated[i] = append(dominated[i], j)
+				domCount[j]++
+			case core.Dominates(pop[j].metrics, pop[i].metrics):
+				dominated[j] = append(dominated[j], i)
+				domCount[i]++
+			}
+		}
+	}
+	var fronts [][]int
+	var current []int
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			current = append(current, i)
+		}
+	}
+	for len(current) > 0 {
+		for _, i := range current {
+			pop[i].rank = len(fronts)
+		}
+		fronts = append(fronts, current)
+		var next []int
+		for _, i := range current {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		sort.Ints(next) // index order regardless of discovery path
+		current = next
+	}
+	for _, f := range fronts {
+		crowding(pop, f)
+	}
+	return fronts
+}
+
+// crowding assigns each front member's crowding distance: the sum over
+// objectives of the normalized gap between its neighbors along that
+// objective, +Inf at the extremes so boundary points always survive.
+func crowding(pop []individual, front []int) {
+	for _, i := range front {
+		pop[i].crowd = 0
+	}
+	if len(front) <= 2 {
+		for _, i := range front {
+			pop[i].crowd = math.Inf(1)
+		}
+		return
+	}
+	for _, obj := range [...]func(core.Metrics) float64{
+		func(m core.Metrics) float64 { return m.Cycles },
+		func(m core.Metrics) float64 { return m.EnergyNJ },
+	} {
+		idx := append([]int(nil), front...)
+		sort.SliceStable(idx, func(a, b int) bool {
+			va, vb := obj(pop[idx[a]].metrics), obj(pop[idx[b]].metrics)
+			if va != vb {
+				return va < vb
+			}
+			return idx[a] < idx[b]
+		})
+		lo, hi := obj(pop[idx[0]].metrics), obj(pop[idx[len(idx)-1]].metrics)
+		pop[idx[0]].crowd = math.Inf(1)
+		pop[idx[len(idx)-1]].crowd = math.Inf(1)
+		if span := hi - lo; span > 0 {
+			for k := 1; k < len(idx)-1; k++ {
+				gap := (obj(pop[idx[k+1]].metrics) - obj(pop[idx[k-1]].metrics)) / span
+				pop[idx[k]].crowd += gap
+			}
+		}
+	}
+}
+
+// crowdedLess is NSGA-II's crowded-comparison operator — lower rank
+// wins, then larger crowding distance — with an index tie-break for full
+// determinism.
+func crowdedLess(pop []individual, i, j int) bool {
+	if pop[i].rank != pop[j].rank {
+		return pop[i].rank < pop[j].rank
+	}
+	if pop[i].crowd != pop[j].crowd {
+		return pop[i].crowd > pop[j].crowd
+	}
+	return i < j
+}
+
+// tournament draws two members uniformly and returns the better one.
+func tournament(r *rng, pop []individual) int {
+	i, j := r.intn(len(pop)), r.intn(len(pop))
+	if crowdedLess(pop, i, j) {
+		return i
+	}
+	return j
+}
+
+// environmental selects the next population (size n) from the combined
+// parent+offspring pool: whole fronts while they fit, then the most
+// crowded members of the boundary front.
+func environmental(pool []individual, n int) []individual {
+	fronts := sortFronts(pool)
+	out := make([]individual, 0, n)
+	for _, f := range fronts {
+		if len(out)+len(f) <= n {
+			for _, i := range f {
+				out = append(out, pool[i])
+			}
+			continue
+		}
+		rest := append([]int(nil), f...)
+		sort.SliceStable(rest, func(a, b int) bool {
+			return crowdedLess(pool, rest[a], rest[b])
+		})
+		for _, i := range rest[:n-len(out)] {
+			out = append(out, pool[i])
+		}
+		break
+	}
+	return out
+}
+
+// Hypervolume returns the area of the (cycles, energy) region dominated
+// by ms' Pareto frontier and bounded by the reference point (refCycles,
+// refEnergyNJ); points at or beyond the reference contribute nothing.
+// Larger is better. It is the scalar archive-quality measure the
+// search-beats-random property test compares at equal budget.
+func Hypervolume(ms []core.Metrics, refCycles, refEnergyNJ float64) float64 {
+	hv := 0.0
+	prevE := refEnergyNJ
+	// The frontier is sorted by increasing cycles with strictly
+	// decreasing energy, so the dominated region decomposes into one
+	// rectangle per point.
+	for _, m := range core.ParetoFrontier(ms) {
+		if m.Cycles >= refCycles || m.EnergyNJ >= prevE {
+			continue
+		}
+		hv += (refCycles - m.Cycles) * (prevE - m.EnergyNJ)
+		prevE = m.EnergyNJ
+	}
+	return hv
+}

@@ -1,0 +1,105 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"memexplore/internal/core"
+)
+
+func popOf(points ...[2]float64) []individual {
+	pop := make([]individual, len(points))
+	for i, p := range points {
+		pop[i].metrics = core.Metrics{Cycles: p[0], EnergyNJ: p[1]}
+	}
+	return pop
+}
+
+func TestSortFronts(t *testing.T) {
+	// Front 0: (1,4), (2,2), (4,1). Front 1: (3,3) dominated by (2,2).
+	// Front 2: (5,5) dominated by everything in front 0 and (3,3).
+	pop := popOf([2]float64{3, 3}, [2]float64{1, 4}, [2]float64{2, 2}, [2]float64{5, 5}, [2]float64{4, 1})
+	fronts := sortFronts(pop)
+	if len(fronts) != 3 {
+		t.Fatalf("got %d fronts, want 3", len(fronts))
+	}
+	wantRank := []int{1, 0, 0, 2, 0}
+	for i, w := range wantRank {
+		if pop[i].rank != w {
+			t.Errorf("pop[%d].rank = %d, want %d", i, pop[i].rank, w)
+		}
+	}
+	// Extremes of front 0 are infinitely crowded; the middle is finite.
+	if !math.IsInf(pop[1].crowd, 1) || !math.IsInf(pop[4].crowd, 1) {
+		t.Errorf("front-0 extremes crowd = %g, %g, want +Inf", pop[1].crowd, pop[4].crowd)
+	}
+	if math.IsInf(pop[2].crowd, 1) {
+		t.Error("front-0 interior point has infinite crowding distance")
+	}
+	// Singleton and pair fronts are all +Inf.
+	if !math.IsInf(pop[0].crowd, 1) || !math.IsInf(pop[3].crowd, 1) {
+		t.Error("small fronts should be infinitely crowded")
+	}
+}
+
+func TestEnvironmentalSelection(t *testing.T) {
+	pop := popOf(
+		[2]float64{1, 5}, [2]float64{2, 4}, [2]float64{3, 3},
+		[2]float64{4, 2}, [2]float64{5, 1}, // front 0: all five
+		[2]float64{6, 6}, [2]float64{7, 7}, // dominated tail
+	)
+	out := environmental(pop, 3)
+	if len(out) != 3 {
+		t.Fatalf("selected %d, want 3", len(out))
+	}
+	// The boundary front is truncated by crowding: both extremes (+Inf)
+	// must survive.
+	hasExtremes := 0
+	for _, ind := range out {
+		if ind.metrics.Cycles == 1 || ind.metrics.Cycles == 5 {
+			hasExtremes++
+		}
+	}
+	if hasExtremes != 2 {
+		t.Errorf("environmental dropped a frontier extreme: %+v", out)
+	}
+	// Whole-front case: n larger than front 0 pulls in dominated points.
+	out = environmental(pop, 6)
+	if len(out) != 6 {
+		t.Fatalf("selected %d, want 6", len(out))
+	}
+}
+
+func TestCrowdedLessTieBreak(t *testing.T) {
+	pop := popOf([2]float64{1, 1}, [2]float64{1, 1})
+	sortFronts(pop)
+	if !crowdedLess(pop, 0, 1) || crowdedLess(pop, 1, 0) {
+		t.Error("identical individuals must break the tie by index")
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	ms := []core.Metrics{
+		{Cycles: 1, EnergyNJ: 4},
+		{Cycles: 2, EnergyNJ: 2},
+		{Cycles: 4, EnergyNJ: 1},
+		{Cycles: 3, EnergyNJ: 3}, // dominated by (2,2): contributes nothing
+	}
+	// ref (5,5): rectangles (5−1)(5−4) + (5−2)(4−2) + (5−4)(2−1) = 4+6+1.
+	if hv := Hypervolume(ms, 5, 5); hv != 11 {
+		t.Errorf("Hypervolume = %g, want 11", hv)
+	}
+	// Points at or beyond the reference contribute nothing: only (1,4)
+	// survives a (2,5) reference.
+	if hv := Hypervolume(ms, 2, 5); hv != 1 {
+		t.Errorf("Hypervolume(ref 2,5) = %g, want 1", hv)
+	}
+	if hv := Hypervolume(nil, 5, 5); hv != 0 {
+		t.Errorf("Hypervolume(empty) = %g, want 0", hv)
+	}
+	// A superset frontier never has smaller hypervolume.
+	less := Hypervolume(ms[:2], 5, 5)
+	if less > Hypervolume(ms, 5, 5) {
+		t.Error("hypervolume decreased when adding points")
+	}
+}

@@ -1,0 +1,30 @@
+package search
+
+// Seeded randomness for the evolutionary operators: splitmix64, the same
+// generator family whose finalizer drives SHARDS sampling (core's mix64),
+// promoted from a hash to a sequential stream. Tiny, fast, and — the
+// actual requirement — reproducible: every stochastic choice in a run
+// flows from one generator seeded by Options.Seed, so identical inputs
+// replay identical runs.
+
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64 uniform bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n); n must be positive. The modulo bias is
+// negligible for the tiny ranges genes and tournaments draw from.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float64 returns a value in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }

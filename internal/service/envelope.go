@@ -19,6 +19,7 @@ import (
 	"memexplore/internal/core"
 	"memexplore/internal/extrace"
 	"memexplore/internal/kernels"
+	"memexplore/internal/search"
 )
 
 // The stable machine-readable error codes of the v1 API. Documented in
@@ -28,6 +29,7 @@ const (
 	CodeInvalidKernel      = "invalid_kernel"      // 400: inline source does not parse or validate
 	CodeUnknownKernel      = "unknown_kernel"      // 404: kernel name not in the registry
 	CodeInvalidOptions     = "invalid_options"     // 400: options fail validation (field set)
+	CodeInvalidSearch      = "invalid_search"      // 400: search options or budget fail validation (field set)
 	CodeConflictingOptions = "conflicting_options" // 400: options header and query parameters both present
 	CodeInvalidTrace       = "invalid_trace"       // 400: malformed trace record (location in message)
 	CodeEmptyTrace         = "empty_trace"         // 400: trace stream held no records
@@ -44,7 +46,7 @@ const (
 // checks) can assert against it.
 var KnownErrorCodes = []string{
 	CodeInvalidRequest, CodeInvalidKernel, CodeUnknownKernel,
-	CodeInvalidOptions, CodeConflictingOptions, CodeInvalidTrace,
+	CodeInvalidOptions, CodeInvalidSearch, CodeConflictingOptions, CodeInvalidTrace,
 	CodeEmptyTrace, CodeRecordLimit, CodeBodyTooLarge, CodeUnknownJob,
 	CodeDraining, CodeCanceled, CodeInternal,
 }
@@ -73,6 +75,7 @@ func errorDetail(err error) (int, ErrorDetail) {
 	var (
 		re     *requestError
 		inv    *core.ErrInvalidOptions
+		sinv   *search.InvalidError
 		tooBig *http.MaxBytesError
 		perr   *extrace.ParseError
 	)
@@ -91,6 +94,8 @@ func errorDetail(err error) (int, ErrorDetail) {
 		return StatusClientClosedRequest, ErrorDetail{Code: CodeCanceled, Message: err.Error()}
 	case errors.As(err, &inv):
 		return http.StatusBadRequest, ErrorDetail{Code: CodeInvalidOptions, Message: inv.Reason, Field: inv.Field}
+	case errors.As(err, &sinv):
+		return http.StatusBadRequest, ErrorDetail{Code: CodeInvalidSearch, Message: sinv.Reason, Field: sinv.Field}
 	case errors.Is(err, kernels.ErrUnknownKernel):
 		return http.StatusNotFound, ErrorDetail{Code: CodeUnknownKernel, Message: err.Error()}
 	default:

@@ -105,6 +105,12 @@ func TestErrorEnvelopeSweep(t *testing.T) {
 		{"explore wrong kind", shared, "POST", "/v1/explore", jsonHdr, `{"kind":"explore-trace","kernel":"matadd"}`, 400, CodeInvalidRequest},
 		{"aggregate bad options", shared, "POST", "/v1/aggregate", jsonHdr,
 			`{"kernels":[{"kernel":"matadd","trip":1}],"options":{"tilings":[0]}}`, 400, CodeInvalidOptions},
+		{"search empty budget", shared, "POST", "/v1/search", jsonHdr, `{"kernel":"matadd"}`, 400, CodeInvalidSearch},
+		{"search bad pop size", shared, "POST", "/v1/search", jsonHdr,
+			`{"kernel":"matadd","search":{"pop_size":1},"budget":{"max_generations":1}}`, 400, CodeInvalidSearch},
+		{"search bad options", shared, "POST", "/v1/search", jsonHdr,
+			`{"kernel":"matadd","options":{"tilings":[0]},"budget":{"max_generations":1}}`, 400, CodeInvalidOptions},
+		{"search wrong kind", shared, "POST", "/v1/search", jsonHdr, `{"kind":"explore","kernel":"matadd","budget":{"max_generations":1}}`, 400, CodeInvalidRequest},
 		{"trace conflicting options", shared, "POST", "/v1/explore-trace?" + traceQueryString,
 			http.Header{OptionsHeader: {`{}`}}, "0 10\n", 400, CodeConflictingOptions},
 		{"trace malformed record", shared, "POST", "/v1/explore-trace?" + traceQueryString, nil, "wat\n", 400, CodeInvalidTrace},

@@ -2,7 +2,8 @@ package service
 
 // The async job surface. POST /v1/jobs accepts the same request shapes
 // as the synchronous sweep endpoints — an ExploreRequest JSON body for
-// "explore" jobs, or a raw trace body with a TraceRequest in the
+// "explore" jobs, a SearchRequest with "kind": "search" for guided
+// NSGA-II searches, or a raw trace body with a TraceRequest in the
 // X-Memexplore-Options header for "explore-trace" jobs — validates them
 // synchronously (bad requests still fail with their normal envelope and
 // status), and returns 202 with the queued job record. The job then
@@ -97,13 +98,29 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.submitTraceJob(w, r)
 		return
 	}
-	s.submitExploreJob(w, r)
+	// JSON submissions dispatch on their "kind" field. The peek decode is
+	// lenient — the per-kind path re-decodes strictly, so unknown fields
+	// and malformed bodies still fail with their normal envelope.
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, err) // a MaxBytesError maps to 413 body_too_large
+		return
+	}
+	var peek struct {
+		Kind string `json:"kind"`
+	}
+	_ = json.Unmarshal(body, &peek)
+	if peek.Kind == KindSearch {
+		s.submitSearchJob(w, body)
+		return
+	}
+	s.submitExploreJob(w, body)
 }
 
 // submitExploreJob validates an explore request and queues it.
-func (s *Server) submitExploreJob(w http.ResponseWriter, r *http.Request) {
+func (s *Server) submitExploreJob(w http.ResponseWriter, body []byte) {
 	var req ExploreRequest
-	if err := decodeBody(r.Body, &req); err != nil {
+	if err := decodeBody(bytes.NewReader(body), &req); err != nil {
 		s.writeError(w, invalidRequest(err))
 		return
 	}

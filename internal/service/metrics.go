@@ -67,6 +67,14 @@ type counters struct {
 	jobsResultHits expvar.Int
 	jobsQueued     expvar.Int
 	jobsRunning    expvar.Int
+	// Guided search (internal/search, /v1/search). Runs counts completed
+	// (uncached) searches; evaluations/generations/memoHits accumulate
+	// their per-run totals, so evaluations/runs is the mean budget spend
+	// and memoHits/evaluations the revisit amplification.
+	searchRuns        expvar.Int
+	searchEvaluations expvar.Int
+	searchGenerations expvar.Int
+	searchMemoHits    expvar.Int
 }
 
 var vars = func() *counters {
@@ -107,6 +115,10 @@ var vars = func() *counters {
 	m.Set("jobs_result_hits", &c.jobsResultHits)
 	m.Set("jobs_queued", &c.jobsQueued)
 	m.Set("jobs_running", &c.jobsRunning)
+	m.Set("search_runs", &c.searchRuns)
+	m.Set("search_evaluations", &c.searchEvaluations)
+	m.Set("search_generations", &c.searchGenerations)
+	m.Set("search_memo_hits", &c.searchMemoHits)
 	return c
 }()
 

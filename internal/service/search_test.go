@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"memexplore/internal/jobs"
+)
+
+// searchBodyJSON is a small, fully bounded, seeded search request used
+// across the tests; identical inputs must give identical archives.
+const searchBodyJSON = `{"kernel":"compress","options":` + tinyOptionsJSON +
+	`,"search":{"seed":7,"pop_size":4},"budget":{"max_generations":3}}`
+
+func decodeSearch(t *testing.T, w *httptest.ResponseRecorder) SearchResponse {
+	t.Helper()
+	var resp SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return resp
+}
+
+func TestSearchHappyPath(t *testing.T) {
+	s := newTestServer(t)
+	w := postJSON(t, s, "/v1/search", searchBodyJSON)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeSearch(t, w)
+	if resp.Kernel != "compress" || resp.Cached {
+		t.Fatalf("response meta = %+v", resp.ResultMeta)
+	}
+	if len(resp.Archive) == 0 || resp.Evaluations == 0 || resp.SpacePoints == 0 {
+		t.Fatalf("empty search result: %+v", resp.Result)
+	}
+	if resp.Stopped == "" {
+		t.Error("no stop reason reported")
+	}
+	if resp.Best.MinEnergy == nil || resp.Best.MinCycles == nil {
+		t.Error("selection optima missing from search response")
+	}
+	if resp.Plan != nil {
+		t.Error("search response carries a sweep plan; the run deliberately does not execute one")
+	}
+
+	// The identical request is answered from the cache with the same
+	// archive.
+	w2 := postJSON(t, s, "/v1/search", searchBodyJSON)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("second status = %d", w2.Code)
+	}
+	resp2 := decodeSearch(t, w2)
+	if !resp2.Cached {
+		t.Error("identical search request was not served from cache")
+	}
+	a1, _ := json.Marshal(resp.Archive)
+	a2, _ := json.Marshal(resp2.Archive)
+	if string(a1) != string(a2) {
+		t.Error("cached archive differs from the original")
+	}
+}
+
+func TestSearchDeterministicAcrossServers(t *testing.T) {
+	// Two independent servers (separate caches) must produce identical
+	// bodies modulo the cached flag — the run is seed-determined.
+	w1 := postJSON(t, newTestServer(t), "/v1/search", searchBodyJSON)
+	w2 := postJSON(t, newTestServer(t), "/v1/search", searchBodyJSON)
+	if w1.Code != http.StatusOK || w2.Code != http.StatusOK {
+		t.Fatalf("status = %d, %d", w1.Code, w2.Code)
+	}
+	if w1.Body.String() != w2.Body.String() {
+		t.Fatalf("seeded search is not reproducible across servers:\n%s\nvs\n%s", w1.Body, w2.Body)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name, body, code, field string
+	}{
+		{"no budget", `{"kernel":"compress"}`, CodeInvalidSearch, "budget"},
+		{"negative budget", `{"kernel":"compress","budget":{"max_evaluations":-1}}`, CodeInvalidSearch, "budget"},
+		{"bad pop size", `{"kernel":"compress","search":{"pop_size":1},"budget":{"max_generations":1}}`, CodeInvalidSearch, "search.pop_size"},
+		{"bad rate", `{"kernel":"compress","search":{"mutation_rate":2},"budget":{"max_generations":1}}`, CodeInvalidSearch, "search.mutation_rate"},
+		{"unknown search field", `{"kernel":"compress","search":{"popsize":4},"budget":{"max_generations":1}}`, CodeInvalidSearch, "search"},
+		{"empty space", `{"kernel":"compress","options":{"cache_sizes":[16],"line_sizes":[32]},"budget":{"max_generations":1}}`, CodeInvalidSearch, "options"},
+		{"unknown kernel", `{"kernel":"nope","budget":{"max_generations":1}}`, CodeUnknownKernel, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, s, "/v1/search", tc.body)
+			if w.Code == http.StatusOK {
+				t.Fatalf("accepted: %s", w.Body)
+			}
+			e := decodeError(t, w)
+			if e.Code != tc.code || e.Field != tc.field {
+				t.Errorf("envelope = %+v, want code=%q field=%q", e, tc.code, tc.field)
+			}
+		})
+	}
+}
+
+// TestJobSearchByteIdentical pins the async twin: a "search" job's
+// stored result is byte-identical to the synchronous /v1/search body.
+func TestJobSearchByteIdentical(t *testing.T) {
+	body := fmt.Sprintf(`{"kind":"search","kernel":"compress","options":%s,"search":{"seed":7,"pop_size":4},"budget":{"max_generations":3},"cycle_bound":1e9}`, tinyOptionsJSON)
+
+	sync := postJSON(t, MustNew(Config{MaxConcurrentSweeps: 2, CacheEntries: 8}), "/v1/search", body)
+	if sync.Code != http.StatusOK {
+		t.Fatalf("sync twin = %d: %s", sync.Code, sync.Body)
+	}
+
+	s := newTestServer(t)
+	w := doJSON(t, s, "POST", "/v1/jobs", http.Header{"Content-Type": {"application/json"}}, []byte(body))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", w.Code, w.Body)
+	}
+	rec := decodeRecord(t, w)
+	if rec.Kind != KindSearch {
+		t.Fatalf("kind = %s, want %s", rec.Kind, KindSearch)
+	}
+	final := awaitJob(t, s, rec.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("final = %s (%+v)", final.State, final.Error)
+	}
+	want := strings.TrimSuffix(sync.Body.String(), "\n")
+	if string(final.Result) != want {
+		t.Fatalf("async search result differs from sync body:\nasync %s\n sync %s", final.Result, want)
+	}
+	// Generation retirements count against the generation total.
+	if final.Progress.PassUnitsDone == 0 {
+		t.Errorf("no generation progress reported: %+v", final.Progress)
+	}
+	if final.Progress.PassUnits != 3 {
+		t.Errorf("pass-unit total = %d, want the generation budget 3", final.Progress.PassUnits)
+	}
+}
+
+func TestJobSearchValidationFailsSynchronously(t *testing.T) {
+	s := newTestServer(t)
+	w := doJSON(t, s, "POST", "/v1/jobs", http.Header{"Content-Type": {"application/json"}},
+		[]byte(`{"kind":"search","kernel":"compress"}`))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	if e := decodeError(t, w); e.Code != CodeInvalidSearch || e.Field != "budget" {
+		t.Errorf("envelope = %+v, want invalid_search/budget", e)
+	}
+}

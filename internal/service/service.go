@@ -4,6 +4,7 @@
 //	POST   /v1/explore          run (or recall) a sweep for one kernel
 //	POST   /v1/explore-trace    stream an external trace through the sweep
 //	POST   /v1/aggregate        §5 trip-count-weighted multi-kernel aggregation
+//	POST   /v1/search           budgeted NSGA-II search over the config space
 //	POST   /v1/jobs             submit an async sweep job (202 + id)
 //	GET    /v1/jobs/{id}        job status, progress and result
 //	DELETE /v1/jobs/{id}        cancel a running job
@@ -138,6 +139,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	s.mux.HandleFunc("POST /v1/explore-trace", s.handleExploreTrace)
 	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -199,6 +201,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 const (
 	KindExplore      = "explore"
 	KindExploreTrace = "explore-trace"
+	KindSearch       = "search"
 )
 
 // ExploreRequest is the POST /v1/explore body and (as the "explore"

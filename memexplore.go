@@ -58,6 +58,7 @@ import (
 	"memexplore/internal/loopir"
 	"memexplore/internal/reuse"
 	"memexplore/internal/scratchpad"
+	"memexplore/internal/search"
 	"memexplore/internal/stackdist"
 	"memexplore/internal/trace"
 )
@@ -555,3 +556,49 @@ func DefaultTuneConfig() TuneConfig { return autotune.DefaultConfig() }
 // cache for the minimum total energy under an optional shared budget,
 // returning all scored variants and the index of the best.
 func Tune(n *Nest, cfg TuneConfig) ([]TuneResult, int, error) { return autotune.Tune(n, cfg) }
+
+// Guided multi-objective search types and helpers (internal/search):
+// budgeted NSGA-II evolution over the configuration space for spaces too
+// large to sweep exhaustively. See docs/SEARCH.md.
+type (
+	// SearchOptions parameterizes the evolutionary operators; the seed
+	// makes runs bit-reproducible at any worker count.
+	SearchOptions = search.Options
+	// SearchBudget bounds a search run by evaluations, generations,
+	// and/or wall clock (at least one bound is required).
+	SearchBudget = search.Budget
+	// SearchResult is a finished run: the Pareto archive over every
+	// evaluated point plus the evaluation accounting and stop reason.
+	SearchResult = search.Result
+	// ErrInvalidSearch reports invalid search parameters with the
+	// offending wire field named; retrieve it with errors.As.
+	ErrInvalidSearch = search.InvalidError
+)
+
+// DefaultSearchOptions returns the default operator parameters.
+func DefaultSearchOptions() SearchOptions { return search.DefaultOptions() }
+
+// SearchKernel runs a budgeted NSGA-II search over a kernel workload's
+// configuration space; workers parallelizes the inner sweeps without
+// affecting the archive.
+func SearchKernel(ctx context.Context, n *Nest, opts Options, sopts SearchOptions, budget SearchBudget, workers int) (SearchResult, error) {
+	return search.Kernel(ctx, n, opts, sopts, budget, workers)
+}
+
+// SearchTrace runs the search over a recorded trace. The source must be
+// seekable (each generation rewinds and streams it); tiling and layout
+// optimization are pinned off as in ExploreTrace.
+func SearchTrace(ctx context.Context, src io.ReadSeeker, opts Options, ing TraceIngestOptions, sopts SearchOptions, budget SearchBudget) (SearchResult, TraceIngestStats, error) {
+	return search.Trace(ctx, src, opts, ing, sopts, budget)
+}
+
+// SearchHypervolume measures the (cycles, energy) area a frontier
+// dominates under the given reference point — the scalar archive-quality
+// metric used to compare search strategies.
+func SearchHypervolume(ms []Metrics, refCycles, refEnergyNJ float64) float64 {
+	return search.Hypervolume(ms, refCycles, refEnergyNJ)
+}
+
+// Dominates reports whether a Pareto-dominates b in the (cycles, energy)
+// plane: no worse in both objectives, strictly better in at least one.
+func Dominates(a, b Metrics) bool { return core.Dominates(a, b) }
