@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test short bench bench-sweep bench-trace bench-service bench-search bench-guard figs exhibits fuzz cover clean check serve
+.PHONY: all build vet test short bench bench-sweep bench-trace bench-ingest bench-service bench-search bench-guard figs exhibits fuzz cover clean check serve
 
 all: build vet test
 
@@ -23,6 +23,7 @@ check: build vet test
 	$(GO) test -race ./internal/service ./internal/jobs ./internal/core ./internal/cachesim ./internal/extrace ./internal/search
 	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseDin -fuzztime 5s
 	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseBinaryV2 -fuzztime 5s
+	$(GO) test ./internal/extrace -run '^$$' -fuzz FuzzParseIndexFooter -fuzztime 5s
 	$(GO) test ./internal/search -run '^$$' -fuzz FuzzGenome -fuzztime 5s
 
 # Run the memexplored HTTP service (see docs/SERVICE.md).
@@ -49,6 +50,13 @@ bench-sweep:
 # for curation into BENCH_trace.json.
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkExploreDinTrace|BenchmarkExploreTraceSampled' -benchmem -count 3 . | tee BENCH_trace.out
+
+# The zero-copy ingestion levers in isolation: mmap vs buffered decode of
+# the same on-disk mxt v2 artifact, and index-guided chunk skipping vs
+# full decode at R=0.01; appends to BENCH_trace.out for curation into
+# BENCH_trace.json.
+bench-ingest:
+	$(GO) test -run '^$$' -bench BenchmarkIngest -benchmem -count 3 . | tee -a BENCH_trace.out
 
 # Guided search vs exhaustive sweep at matched budgets on an enlarged
 # configuration space; the raw runs land in BENCH_search.out for
@@ -82,6 +90,7 @@ fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzReadDin -fuzztime 30s
 	$(GO) test ./internal/extrace -fuzz FuzzParseDin -fuzztime 30s
 	$(GO) test ./internal/extrace -fuzz FuzzParseBinaryV2 -fuzztime 30s
+	$(GO) test ./internal/extrace -fuzz FuzzParseIndexFooter -fuzztime 30s
 	$(GO) test ./internal/cachesim -fuzz FuzzPerSetStacks -fuzztime 30s
 	$(GO) test ./internal/search -fuzz FuzzGenome -fuzztime 30s
 

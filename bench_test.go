@@ -18,6 +18,12 @@ import (
 	"strings"
 	"testing"
 
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"memexplore"
 	"memexplore/internal/bus"
 	"memexplore/internal/cachesim"
 	"memexplore/internal/core"
@@ -464,5 +470,174 @@ func BenchmarkSearch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkIngest isolates the zero-copy ingestion levers from the
+// simulator on a ~2.9M-record embedded-style workload transcoded to mxt
+// v2 on disk: 220 Compress compute segments at distinct 1 MiB offsets
+// (as in BenchmarkExploreTraceSampled), each followed by a
+// device-polling idle phase — a tight loop rescanning one 256-byte
+// buffer, the few-granule busy-wait pattern low-power firmware spends
+// much of its time in. The polling phases are what the MXTI01 granule
+// summaries can prove dead under sampling; the compute segments mostly
+// cannot be skipped, so the indexed sweep still decodes real work:
+//
+//   - decode/bufio    — streaming chunk decode through bufio (the
+//     non-seekable transport: gzip, stdin, HTTP bodies)
+//   - decode/mmap     — the same artifact memory-mapped, columns decoded
+//     in place (the *os.File fast path)
+//   - sweep/full@sample=0.01    — full sweep, R=0.01 sampling, on an
+//     index-less artifact: every chunk decoded, then filtered
+//   - sweep/indexed@sample=0.01 — the same sweep on the indexed
+//     artifact: chunks the MXTI01 granule summary proves dead are
+//     skipped without decoding (bit-identical Metrics)
+//
+// records/s counts accounted records — for the indexed leg that is the
+// effective rate including records skipped via the index.
+func BenchmarkIngest(b *testing.B) {
+	n := kernels.Compress()
+	tiled, err := loopir.TileAll(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := tiled.Generate(loopir.SequentialLayout(tiled, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const segments = 220
+	const pollRecords = 24576 // idle-phase length after each compute segment (~5:1 idle:compute duty cycle)
+	var din bytes.Buffer
+	for k := 0; k < segments; k++ {
+		for _, r := range tr.Refs() {
+			din.WriteByte(byte('0' + r.Kind.DinLabel()))
+			din.WriteByte(' ')
+			b2 := strconv.AppendUint(nil, r.Addr+uint64(k)<<20, 16)
+			din.Write(b2)
+			if r.EffectiveSize() != 1 {
+				din.WriteByte(' ')
+				din.Write(strconv.AppendUint(nil, uint64(r.EffectiveSize()), 10))
+			}
+			din.WriteByte('\n')
+		}
+		// Polling phase: reread a 256-byte status buffer word by word,
+		// high in this segment's MiB so it never aliases compute data.
+		pollBase := uint64(k)<<20 + 768<<10
+		for j := 0; j < pollRecords; j++ {
+			din.WriteString("0 ")
+			din.Write(strconv.AppendUint(nil, pollBase+uint64(j%32)*8, 16))
+			din.WriteByte('\n')
+		}
+	}
+	records := int64((tr.Len() + pollRecords) * segments)
+
+	dir := b.TempDir()
+	indexedPath := filepath.Join(dir, "ingest.mxt")
+	barePath := filepath.Join(dir, "ingest-noindex.mxt")
+	writeV2 := func(path string, wo extrace.V2WriterOptions) {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := extrace.TranscodeV2Options(f, bytes.NewReader(din.Bytes()), extrace.Options{}, wo); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	writeV2(indexedPath, extrace.V2WriterOptions{})
+	writeV2(barePath, extrace.V2WriterOptions{NoIndex: true})
+
+	// drain measures pure decode throughput: open, stream every record,
+	// no simulation. wrap shapes the transport (identity = *os.File =
+	// mmap; nonSeekable forces the bufio path).
+	drain := func(b *testing.B, path string, wrap func(io.Reader) io.Reader, wantMmap bool) {
+		b.Helper()
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(fi.Size())
+		b.ReportAllocs()
+		b.ResetTimer()
+		var st extrace.IngestStats
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rd := extrace.NewReader(wrap(f), extrace.Options{})
+			buf := make([]memexplore.TraceRef, 4096)
+			for {
+				_, err := rd.Read(buf)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			st = rd.Stats()
+			rd.Close()
+			f.Close()
+		}
+		b.StopTimer()
+		if st.Records != records || st.Mmap != wantMmap {
+			b.Fatalf("drained %d records (mmap=%v), want %d (mmap=%v)", st.Records, st.Mmap, records, wantMmap)
+		}
+		b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	}
+	identity := func(r io.Reader) io.Reader { return r }
+	asStream := func(r io.Reader) io.Reader { return struct{ io.Reader }{r} }
+	b.Run("decode/bufio", func(b *testing.B) { drain(b, indexedPath, asStream, false) })
+	b.Run("decode/mmap", func(b *testing.B) { drain(b, indexedPath, identity, true) })
+
+	// sweep measures the full ExploreTrace at R=0.01 — the indexed
+	// artifact skips dead chunks, the index-less control decodes all of
+	// them — asserting bit-identical Metrics between the two.
+	sweep := func(b *testing.B, path string, wantSkips bool) []core.Metrics {
+		b.Helper()
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.SampleRate, opts.SampleSeed = 0.01, 1
+		b.SetBytes(fi.Size())
+		b.ReportAllocs()
+		b.ResetTimer()
+		var ms []core.Metrics
+		var st extrace.IngestStats
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ms, st, err = core.ExploreTrace(f, opts, extrace.Options{})
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st.Records != records {
+			b.Fatalf("ingested %d records, want %d", st.Records, records)
+		}
+		if wantSkips && st.ChunksSkipped == 0 {
+			b.Fatal("indexed sweep skipped no chunks")
+		}
+		if !wantSkips && st.ChunksSkipped != 0 {
+			b.Fatalf("control sweep skipped %d chunks", st.ChunksSkipped)
+		}
+		b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(float64(st.ChunksSkipped), "chunks_skipped")
+		return ms
+	}
+	var full, indexed []core.Metrics
+	b.Run("sweep/full@sample=0.01", func(b *testing.B) { full = sweep(b, barePath, false) })
+	b.Run("sweep/indexed@sample=0.01", func(b *testing.B) { indexed = sweep(b, indexedPath, true) })
+	if full != nil && indexed != nil && !reflect.DeepEqual(full, indexed) {
+		b.Fatal("indexed-skip sweep diverged from the full decode")
 	}
 }

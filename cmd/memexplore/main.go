@@ -73,7 +73,7 @@ func main() {
 		tracePath   = flag.String("trace", "", "sweep a recorded trace file (din or mxt binary, .gz ok; '-' for stdin) instead of a kernel")
 		skipBad     = flag.Bool("skip-malformed", false, "with -trace, skip malformed records instead of failing")
 		maxRecords  = flag.Int64("max-records", 0, "with -trace, fail after this many records (0 = unlimited)")
-		sampleRate  = flag.Float64("sample-rate", 0, "with -trace, simulate only this fraction of cache blocks (SHARDS spatial sampling; 0 or 1 = exact)")
+		sampleRate  = flag.Float64("sample-rate", 0, "with -trace, simulate only this fraction of cache blocks (SHARDS spatial sampling; 0 or 1 = exact); with -convert, bake the sample into the artifact")
 		sampleSeed  = flag.Uint64("sample-seed", 0, "with -trace, hash seed selecting which blocks -sample-rate keeps")
 		dominantEps = flag.Float64("dominant-eps", 0, "with -trace, skip blocks outside the dominant set covering 1-eps of transitions (needs a seekable file; 0 = off)")
 		convertPath = flag.String("convert", "", "with -trace, transcode the trace to columnar mxt v2 at this path instead of sweeping ('-' for stdout, .gz compresses)")
@@ -148,7 +148,8 @@ func main() {
 			fatal(fmt.Errorf("-convert requires -trace"))
 		}
 		ing := memexplore.TraceIngestOptions{MaxRecords: *maxRecords, SkipMalformed: *skipBad}
-		if err := runConvert(*tracePath, *convertPath, ing); err != nil {
+		wo := memexplore.TraceWriterOptions{SampleRate: *sampleRate, SampleSeed: *sampleSeed}
+		if err := runConvert(*tracePath, *convertPath, ing, wo); err != nil {
 			fatal(err)
 		}
 		return
@@ -379,6 +380,17 @@ func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOp
 		return err
 	}
 	fmt.Printf("trace %s: %s\n", path, st)
+	if st.Mmap {
+		fmt.Printf("ingest: memory-mapped %d bytes (zero-copy decode)\n", st.BytesRead)
+	}
+	if st.ChunksSkipped > 0 {
+		fmt.Printf("ingest: index skipped %d chunks (%d records) without decoding\n",
+			st.ChunksSkipped, st.RecordsSkipped)
+	}
+	if st.StoredSampleRate > 0 {
+		fmt.Printf("stored sample: artifact keeps rate %g (seed %d) of %d source records\n",
+			st.StoredSampleRate, st.StoredSampleSeed, st.StoredSourceRecords)
+	}
 	if len(ms) > 0 && (ms[0].SampleRate > 0 || ms[0].SampledRecords > 0) {
 		maxCI := 0.0
 		for _, m := range ms {
@@ -386,9 +398,13 @@ func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOp
 				maxCI = m.MissRateCI
 			}
 		}
+		seed := opts.SampleSeed
+		if st.StoredSampleRate > 0 {
+			seed = st.StoredSampleSeed
+		}
 		fmt.Printf("sampled: %d of %d records simulated", ms[0].SampledRecords, st.Records)
 		if ms[0].SampleRate > 0 {
-			fmt.Printf(" (rate %g, seed %d)", ms[0].SampleRate, opts.SampleSeed)
+			fmt.Printf(" (rate %g, seed %d)", ms[0].SampleRate, seed)
 		}
 		if ms[0].SkippedShare > 0 {
 			fmt.Printf(", %.1f%% skipped as dominant-filter cold", 100*ms[0].SkippedShare)
@@ -428,8 +444,11 @@ func runTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOp
 
 // runConvert transcodes a trace into the columnar mxt v2 format —
 // the fast path for traces that will be swept repeatedly. An output
-// name ending in .gz is gzip-compressed.
-func runConvert(inPath, outPath string, ing memexplore.TraceIngestOptions) error {
+// name ending in .gz is gzip-compressed (which forfeits the mmap fast
+// path and up-front index skipping on later sweeps). A non-zero
+// -sample-rate bakes transcode-time spatial sampling into the artifact,
+// recorded in its index footer so sweeps rescale automatically.
+func runConvert(inPath, outPath string, ing memexplore.TraceIngestOptions, wo memexplore.TraceWriterOptions) error {
 	var in io.Reader = os.Stdin
 	if inPath != "-" {
 		f, err := os.Open(inPath)
@@ -454,7 +473,7 @@ func runConvert(inPath, outPath string, ing memexplore.TraceIngestOptions) error
 		zw = gzip.NewWriter(out)
 		out = zw
 	}
-	n, st, err := memexplore.TranscodeTraceV2(out, in, ing)
+	n, st, err := memexplore.TranscodeTraceV2Options(out, in, ing, wo)
 	if err == nil && zw != nil {
 		err = zw.Close()
 	}
@@ -466,7 +485,11 @@ func runConvert(inPath, outPath string, ing memexplore.TraceIngestOptions) error
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "transcoded %s: %s -> %d bytes mxt v2 (%s)\n", inPath, st, n, outPath)
+	fmt.Fprintf(os.Stderr, "transcoded %s: %s -> %d mxt v2 records (%s)\n", inPath, st, n, outPath)
+	if wo.SampleRate > 0 {
+		fmt.Fprintf(os.Stderr, "sampled at transcode time: rate %g, seed %d (recorded in the index footer)\n",
+			wo.SampleRate, wo.SampleSeed)
+	}
 	return nil
 }
 

@@ -1,17 +1,22 @@
 // Command traceinfo profiles a memory-reference trace: access mix,
 // footprint, stride histogram, and the reuse-distance curve that predicts
-// fully associative miss rates at every capacity.
+// fully associative miss rates at every capacity. For columnar mxt v2
+// artifacts it also reports the MXTI01 index footer — per-chunk frames
+// and granule summaries, the encode-time profile, and any transcode-time
+// sampling baked into the artifact.
 //
 // Usage:
 //
 //	traceinfo -kernel compress
 //	traceinfo -trace refs.din -line 8
+//	traceinfo -trace app.mxt
 //	cachesim -kernel sor -dump-trace - | traceinfo -trace -
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"memexplore"
@@ -20,19 +25,23 @@ import (
 
 func main() {
 	var (
-		traceFile = flag.String("trace", "", "din-format trace file ('-' for stdin)")
+		traceFile = flag.String("trace", "", "trace file: din or mxt binary, gzip ok ('-' for stdin)")
 		kernel    = flag.String("kernel", "", "profile this benchmark kernel's trace instead")
 		tiling    = flag.Int("tiling", 1, "tile the kernel's loops with this size")
 		line      = flag.Int("line", 8, "line size for the reuse-distance analysis")
 	)
 	flag.Parse()
 
-	tr, err := load(*traceFile, *kernel, *tiling)
+	tr, ix, err := load(*traceFile, *kernel, *tiling)
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Print(trace.Analyze(tr))
+	if ix != nil {
+		fmt.Println()
+		printIndex(os.Stdout, ix)
+	}
 
 	h, err := memexplore.ComputeReuse(tr, *line)
 	if err != nil {
@@ -50,35 +59,99 @@ func main() {
 	}
 }
 
-func load(traceFile, kernel string, tiling int) (*trace.Trace, error) {
+// load reads the trace into memory. For file input it streams through the
+// format-autodetecting extrace reader (din, mxt, mxt v2, gzip) and also
+// probes for an mxt v2 MXTI01 index footer when the source is seekable;
+// ix is nil when there is none.
+func load(traceFile, kernel string, tiling int) (*trace.Trace, *memexplore.TraceIndex, error) {
 	switch {
 	case traceFile != "" && kernel != "":
-		return nil, fmt.Errorf("give either -trace or -kernel, not both")
+		return nil, nil, fmt.Errorf("give either -trace or -kernel, not both")
 	case traceFile != "":
 		f := os.Stdin
 		if traceFile != "-" {
 			var err error
 			f, err = os.Open(traceFile)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			defer f.Close()
 		}
-		return trace.ReadDinAuto(f)
+		ix := memexplore.ProbeTraceIndex(f)
+		tr, err := readAll(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return tr, ix, nil
 	case kernel != "":
 		n, err := memexplore.Kernel(kernel)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if tiling > 1 {
 			n, err = memexplore.Tile(n, tiling)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		return n.Generate(memexplore.SequentialLayout(n, 0))
+		tr, err := n.Generate(memexplore.SequentialLayout(n, 0))
+		return tr, nil, err
 	default:
-		return nil, fmt.Errorf("give -trace <file> or -kernel <name>")
+		return nil, nil, fmt.Errorf("give -trace <file> or -kernel <name>")
+	}
+}
+
+// readAll drains a trace stream into memory via the streaming reader.
+func readAll(r io.Reader) (*trace.Trace, error) {
+	rd := memexplore.NewTraceReader(r, memexplore.TraceIngestOptions{})
+	defer rd.Close()
+	tr := trace.New(0)
+	buf := make([]memexplore.TraceRef, 4096)
+	for {
+		n, err := rd.Read(buf)
+		for _, ref := range buf[:n] {
+			tr.Append(ref)
+		}
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// indexChunkLines bounds the per-chunk listing; larger indexes are
+// summarized with a trailing count.
+const indexChunkLines = 8
+
+// printIndex renders the MXTI01 index footer report.
+func printIndex(w io.Writer, ix *memexplore.TraceIndex) {
+	fmt.Fprintln(w, "mxt v2 index (MXTI01):")
+	var bytes int64
+	for i := range ix.Chunks {
+		bytes += ix.Chunks[i].Bytes
+	}
+	fmt.Fprintf(w, "chunks          %d (%d records, %d payload bytes)\n", len(ix.Chunks), ix.Records, bytes)
+	if ix.Sampled {
+		fmt.Fprintf(w, "stored sample   rate %g, seed %d, %d-byte granule (%d source records)\n",
+			ix.SampleRate, ix.SampleSeed, ix.SampleGranule, ix.SourceRecords)
+	}
+	if ix.HasProfile {
+		fmt.Fprintln(w, "profile         encode-time ingest profile present (skip-safe)")
+	}
+	for i := range ix.Chunks {
+		if i == indexChunkLines {
+			fmt.Fprintf(w, "  ... and %d more chunks\n", len(ix.Chunks)-indexChunkLines)
+			break
+		}
+		e := &ix.Chunks[i]
+		granules := "summary overflowed"
+		if len(e.Granules) > 0 {
+			granules = fmt.Sprintf("%d granules in [%#x, %#x]", len(e.Granules), e.MinGranule, e.MaxGranule)
+		}
+		fmt.Fprintf(w, "  chunk %3d: %6d bytes at %8d, %5d records (r %d / w %d / f %d), %s\n",
+			i, e.Bytes, e.Offset, e.Records, e.Reads, e.Writes, e.Fetches(), granules)
 	}
 }
 

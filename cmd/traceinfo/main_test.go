@@ -1,19 +1,24 @@
 package main
 
 import (
+	"bytes"
 	"os"
+	"path/filepath"
 	"testing"
+
+	"memexplore"
+	"memexplore/internal/trace"
 )
 
 func TestLoadKernel(t *testing.T) {
-	tr, err := load("", "matadd", 1)
+	tr, _, err := load("", "matadd", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tr.Len() != 108 {
 		t.Errorf("trace = %d refs", tr.Len())
 	}
-	tiled, err := load("", "matadd", 3)
+	tiled, _, err := load("", "matadd", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,23 +33,66 @@ func TestLoadDin(t *testing.T) {
 	if err := os.WriteFile(path, []byte("0 ff\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := load(path, "", 1)
+	tr, ix, err := load(path, "", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tr.Len() != 1 || tr.At(0).Addr != 0xff {
 		t.Errorf("trace = %+v", tr.Refs())
 	}
+	if ix != nil {
+		t.Errorf("din input reported an mxt index: %+v", ix)
+	}
 }
 
 func TestLoadErrors(t *testing.T) {
-	if _, err := load("", "", 1); err == nil {
+	if _, _, err := load("", "", 1); err == nil {
 		t.Error("no source should fail")
 	}
-	if _, err := load("x", "y", 1); err == nil {
+	if _, _, err := load("x", "y", 1); err == nil {
 		t.Error("two sources should fail")
 	}
-	if _, err := load("", "nope", 1); err == nil {
+	if _, _, err := load("", "nope", 1); err == nil {
 		t.Error("unknown kernel should fail")
+	}
+}
+
+// TestIndexReportGolden pins the MXTI01 report for a known artifact: a
+// three-record v2 trace loads through the mxt path, surfaces its index,
+// and renders exactly this text.
+func TestIndexReportGolden(t *testing.T) {
+	refs := []memexplore.TraceRef{
+		{Addr: 0x1000, Kind: trace.Read},
+		{Addr: 0x1040, Kind: trace.Write, Size: 4},
+		{Addr: 0x2000, Kind: trace.Fetch},
+	}
+	var buf bytes.Buffer
+	if _, err := memexplore.WriteBinaryV2Trace(&buf, trace.FromRefs(refs)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.mxt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, ix, err := load(path, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(refs) {
+		t.Fatalf("loaded %d refs, want %d", tr.Len(), len(refs))
+	}
+	if ix == nil {
+		t.Fatal("mxt v2 artifact has no index")
+	}
+
+	var out bytes.Buffer
+	printIndex(&out, ix)
+	want := "mxt v2 index (MXTI01):\n" +
+		"chunks          1 (3 records, 26 payload bytes)\n" +
+		"profile         encode-time ingest profile present (skip-safe)\n" +
+		"  chunk   0:     26 bytes at        8,     3 records (r 1 / w 1 / f 1), 3 granules in [0x40, 0x80]\n"
+	if got := out.String(); got != want {
+		t.Errorf("index report:\n%s\nwant:\n%s", got, want)
 	}
 }

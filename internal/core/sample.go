@@ -45,15 +45,11 @@ const sampleConfidenceZ = 1.96
 const maxDominantGranules = 1 << 20
 
 // mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
-// hash for the sampling threshold test.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// hash for the sampling threshold test. It is the one shared definition
+// (extrace.Mix64): transcode-time sampling stores artifacts thinned by
+// exactly this hash, so a sweep over a stored sample and a live sample
+// at the same rate/seed/granule keep the same granules.
+func mix64(x uint64) uint64 { return extrace.Mix64(x) }
 
 // traceFilter thins the reference stream on the coordinator goroutine.
 // It is not safe for concurrent use; the engines call apply strictly
@@ -91,14 +87,84 @@ func newTraceFilter(opts Options) *traceFilter {
 		f.seed = opts.SampleSeed
 		// threshold/2^64 ≈ SampleRate; a rate so close to 1 that the
 		// product saturates keeps everything.
-		t := math.Ldexp(opts.SampleRate, 64)
-		if t >= math.Ldexp(1, 64) {
-			f.threshold = ^uint64(0)
-		} else {
-			f.threshold = uint64(t)
-		}
+		f.threshold = extrace.SampleThreshold(opts.SampleRate)
 	}
 	return f
+}
+
+// active reports whether the filter actually thins the stream (it can
+// be a bare rescaling shell when sweeping a transcode-sampled artifact
+// with no live filters).
+func (f *traceFilter) active() bool {
+	return f.sampling || f.hot != nil
+}
+
+// chunkVerdict is the extrace.ChunkPolicy of this filter: from an index
+// entry's exact granule summary alone, decide whether any record of the
+// chunk can survive filtering. The summary granule (extrace.IndexGranule)
+// is at most the filter granule, so each summary granule right-shifts
+// onto the granule the per-record path hashes — the verdict reproduces
+// the decode-then-filter outcome exactly, never approximately:
+//
+//   - every granule fails the sampling hash → no record survives →
+//     skip, dropping the records (ChunkSkipDrop);
+//   - every granule passes the hash but none is hot → every record
+//     would be counted a cold hit → skip, counting the entry's
+//     kind totals as cold (ChunkSkipCold);
+//   - anything mixed (or an overflowed summary) → decode and filter
+//     per record.
+//
+// It runs on the decode goroutine and reads only filter state that is
+// immutable once the stream starts.
+func (f *traceFilter) chunkVerdict(e *extrace.ChunkIndexEntry) extrace.ChunkVerdict {
+	gs := e.Granules
+	if len(gs) == 0 {
+		return extrace.ChunkDecode
+	}
+	shift := f.gshift - uint(bits.TrailingZeros(uint(extrace.IndexGranule)))
+	anyKept, anyCold, anyDropped := false, false, false
+	prev := ^uint64(0)
+	for _, g64 := range gs {
+		sg := g64 >> shift
+		if sg == prev {
+			continue // gs is ascending, so equal sweep granules are adjacent
+		}
+		prev = sg
+		if f.sampling && mix64(sg^f.seed) >= f.threshold {
+			anyDropped = true
+			continue
+		}
+		if f.hot != nil {
+			if _, ok := f.hot[sg]; !ok {
+				anyCold = true
+				continue
+			}
+		}
+		anyKept = true
+	}
+	switch {
+	case anyKept:
+		return extrace.ChunkDecode
+	case anyCold && anyDropped:
+		// Per-record outcomes differ (some dropped, some cold hits): the
+		// chunk totals cannot stand in for them.
+		return extrace.ChunkDecode
+	case anyCold:
+		return extrace.ChunkSkipCold
+	case anyDropped:
+		return extrace.ChunkSkipDrop
+	default:
+		return extrace.ChunkDecode
+	}
+}
+
+// foldSkips merges the reader's skipped-chunk accounting into the
+// filter after the stream ends: cold-skipped records join the cold
+// totals exactly as the per-record path would have counted them.
+func (f *traceFilter) foldSkips(sum extrace.SkipSummary) {
+	for k := range sum.Cold {
+		f.cold[k] += sum.Cold[k]
+	}
 }
 
 // apply compacts block in place to the records the sweep should
@@ -190,6 +256,7 @@ func dominantPrepass(ctx context.Context, r io.Reader, ing extrace.Options, gshi
 	chunk := make([]trace.Ref, traceChunkRefs)
 	for {
 		if err := ctx.Err(); err != nil {
+			rd.Close()
 			return nil, canceled(err)
 		}
 		n, rerr := rd.Read(chunk)

@@ -92,6 +92,30 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	}
 	defer sweep.Release() // every return path must recycle the pooled arrays
 
+	// A transcode-sampled artifact (mxt v2 with sampling recorded in its
+	// MXTI01 footer) already lost the dropped granules: re-sampling it
+	// would compound two filters with no way to rescale, and a sweep
+	// whose filter granule is coarser than the stored hash granule would
+	// see internally inconsistent blocks. Both are refused. Seekable
+	// sources are checked up front; non-seekable streams only reveal
+	// their footer at end of stream and are re-checked after the run.
+	validateStored := func(ix *extrace.TraceIndex) error {
+		if ix == nil || !ix.Sampled {
+			return nil
+		}
+		if opts.SampleRate > 0 {
+			return invalidOptions("sample_rate", "the trace was already sampled at transcode time (rate %g, seed %d): re-sampling would compound the filters; sweep it as-is or re-transcode from the original source", ix.SampleRate, ix.SampleSeed)
+		}
+		if g := filterGranule(opts.LineSizes); g > ix.SampleGranule {
+			return invalidOptions("line_sizes", "the trace was sampled at transcode time at %d-byte granules, but line sizes up to %d bytes need a %d-byte filter granule: the stored sample is not spatially consistent at that size", ix.SampleGranule, g, g)
+		}
+		return nil
+	}
+	storedIdx := extrace.ProbeIndex(r)
+	if err := validateStored(storedIdx); err != nil {
+		return nil, extrace.IngestStats{}, err
+	}
+
 	// Stream-thinning stages (exact sweeps leave filter nil and are
 	// bit-identical to previous releases): the dominant-block prepass
 	// reads the stream once and rewinds it, then the filter rides the
@@ -110,6 +134,15 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 
 	rd := extrace.NewReader(r, ing)
 	defer rd.Close()
+	if filter != nil && filter.active() {
+		// Index-guided chunk skipping: when the MXTI01 index proves no
+		// record of a chunk survives the filters, the reader seeks past
+		// the chunk without decoding it. The verdict reproduces the
+		// decode-then-filter outcome exactly (see chunkVerdict), and the
+		// skipped records are folded back below, so Metrics stay
+		// bit-identical to the full decode at any worker count.
+		rd.SetChunkPolicy(filter.chunkVerdict)
+	}
 	ctr := bus.NewSwitchCounter(bus.Gray)
 	if workers := opts.effectiveWorkers(); workers > 1 && sweep.PassUnits() > 1 {
 		err = runTracePipeline(ctx, rd, sweep, ctr.Drive, workers, filter)
@@ -124,9 +157,31 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	if st.Records == 0 {
 		return nil, st, ErrEmptyTrace
 	}
+	if storedIdx == nil {
+		// The stream path discovers the footer only at EOF.
+		if err := validateStored(rd.Index()); err != nil {
+			return nil, st, err
+		}
+		storedIdx = rd.Index()
+	}
+	if filter != nil {
+		filter.foldSkips(rd.SkipSummary())
+	}
+
+	// A transcode-sampled artifact rescales against the pre-sampling
+	// source: the stored records ARE the sample, so the filter reduces
+	// to a rescaling shell when no live filter ran.
+	total, rate := st.Records, opts.SampleRate
+	if storedIdx != nil && storedIdx.Sampled {
+		total, rate = storedIdx.SourceRecords, storedIdx.SampleRate
+		if filter == nil {
+			filter = newTraceFilter(opts)
+			filter.simulated = st.Records
+		}
+	}
 	if filter != nil && filter.simulated == 0 {
 		return nil, st, fmt.Errorf("%w (sampling at rate %g kept none of %d records)",
-			ErrEmptyTrace, opts.SampleRate, st.Records)
+			ErrEmptyTrace, rate, total)
 	}
 
 	addBS := ctr.PerDrive()
@@ -136,14 +191,14 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 		full := stats[i]
 		var ci float64
 		if filter != nil {
-			full, ci = filter.rescale(full, st.Records, opts.SampleRate)
+			full, ci = filter.rescale(full, total, rate)
 		}
 		m, err := scoreStats(cfgs[i], pt.Tiling, opts.Energy, full, addBS)
 		if err != nil {
 			return nil, st, fmt.Errorf("core: evaluating trace sweep %v: %w", pt, err)
 		}
 		if filter != nil {
-			m.SampleRate = opts.SampleRate
+			m.SampleRate = rate
 			m.SampledRecords = filter.simulated
 			m.MissRateCI = ci
 			if passed := filter.samplePassed(); passed > 0 {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"memexplore/internal/trace"
 )
@@ -31,10 +32,16 @@ const binaryV2Magic = "MXTB02\r\n"
 //	  size column (only when flags bit 0): one byte per record; omitted
 //	    when every size in the chunk is 0 (the default-size common case)
 //
+// After the last chunk, WriteBinaryV2 appends the MXTI01 index footer
+// (see index.go); the decoder recognizes its magic where a chunk header
+// would start and treats it as the clean end of the chunk stream.
+//
 // Decoding is columnar and branch-light: one varint loop reconstructs
 // every address, one unpack loop spreads the kinds, and a single scan
 // validates kind labels — no per-record function calls, so a whole chunk
-// lands in the caller's pooled slab in one readChunk. Clean EOF is only
+// lands in the caller's pooled slab in one readChunk. The bytes come
+// through a v2input: directly out of a memory-mapped region on the
+// zero-copy fast path, or a bufio window otherwise. Clean EOF is only
 // legal at a chunk boundary. A CRC mismatch or an undecodable column is
 // chunk-level damage: fatal normally, or — because the frame length is
 // still trusted — skippable as n rejects under Options.SkipMalformed. A
@@ -53,15 +60,47 @@ const (
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
+// Mix64 is the splitmix64 finalizer — the shared hash behind SHARDS
+// spatial sampling. Transcode-time sampling (WriteBinaryV2Options) and
+// the sweep-time filter in internal/core use this one definition, so a
+// stored sample and a live sample with the same rate, seed and granule
+// keep exactly the same granules.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SampleThreshold maps a sampling rate in (0, 1] to the Mix64 keep
+// threshold: a granule g is kept when Mix64(g^seed) < threshold, so
+// threshold/2^64 ≈ rate (saturating near 1).
+func SampleThreshold(rate float64) uint64 {
+	t := math.Ldexp(rate, 64)
+	if t >= math.Ldexp(1, 64) {
+		return ^uint64(0)
+	}
+	return uint64(t)
+}
+
 // binV2Decoder streams the v2 columnar format chunk-at-a-time.
 type binV2Decoder struct {
-	br   *bufio.Reader
+	in   v2input
 	opts Options
 	acc  *accumulator
 	off  int64 // decompressed byte offset of the next chunk start
 
-	header  [v2HeaderBytes]byte
-	payload []byte // reusable payload buffer
+	// idx is the parsed MXTI01 footer: preloaded through probeIndex on
+	// seekable sources, or discovered when the streaming decoder reaches
+	// the footer. policy, when non-nil, is consulted per indexed chunk
+	// before any byte of it is read; chunk tracks the entry matching the
+	// stream position. skip accounts the chunks stepped over.
+	idx    *TraceIndex
+	policy ChunkPolicy
+	chunk  int
+	skip   SkipSummary
 
 	// pend holds records decoded from a chunk larger than the caller's
 	// buffer; they drain across readChunk calls before the next chunk is
@@ -84,18 +123,59 @@ func (d *binV2Decoder) readChunk(buf []trace.Ref) (int, error) {
 		return n, nil
 	}
 	for {
+		// Index-guided skipping: when the sweep's filter can prove from
+		// the index entry that no record of the next chunk needs
+		// simulating, step over the whole frame without touching it.
+		if d.policy != nil && d.idx != nil && d.chunk < len(d.idx.Chunks) {
+			e := &d.idx.Chunks[d.chunk]
+			if e.Offset != d.off {
+				// The index disagrees with the actual framing (e.g. a
+				// damaged chunk was stepped over in skip mode): stop
+				// trusting it and decode everything from here on.
+				d.policy = nil
+			} else if v := d.policy(e); v != ChunkDecode {
+				if err := d.in.skip(e.Bytes); err != nil {
+					return 0, &ParseError{Format: "binaryv2", Offset: d.off,
+						Reason: fmt.Sprintf("truncated indexed chunk (%d bytes): %v", e.Bytes, err)}
+				}
+				d.off += e.Bytes
+				d.chunk++
+				d.skip.Chunks++
+				d.skip.Records += e.Records
+				d.skip.Bytes += e.Bytes
+				if v == ChunkSkipDrop {
+					d.skip.Dropped += e.Records
+				} else {
+					d.skip.Cold[trace.Read] += e.Reads
+					d.skip.Cold[trace.Write] += e.Writes
+					d.skip.Cold[trace.Fetch] += e.Fetches()
+				}
+				d.acc.skipChunk(e)
+				continue
+			}
+		}
 		chunkStart := d.off
-		if _, err := io.ReadFull(d.br, d.header[:]); err != nil {
-			if err == io.EOF {
+		hdr, err := d.in.next(v2HeaderBytes)
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		if err != nil {
+			if isIndexPrefix(hdr) {
+				// A truncated footer tail: the chunk stream itself ended
+				// cleanly, so degrade to index-less EOF.
 				return 0, io.EOF
 			}
 			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
 				Reason: fmt.Sprintf("truncated chunk header: %v", err)}
 		}
-		count := binary.LittleEndian.Uint32(d.header[0:4])
-		flags := binary.LittleEndian.Uint32(d.header[4:8])
-		addrBytes := binary.LittleEndian.Uint32(d.header[8:12])
-		wantCRC := binary.LittleEndian.Uint32(d.header[12:16])
+		if string(hdr[:len(indexMagic)]) == indexMagic {
+			d.consumeFooter(hdr, chunkStart)
+			return 0, io.EOF
+		}
+		count := binary.LittleEndian.Uint32(hdr[0:4])
+		flags := binary.LittleEndian.Uint32(hdr[4:8])
+		addrBytes := binary.LittleEndian.Uint32(hdr[8:12])
+		wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
 		if count == 0 || count > v2MaxChunkRecords {
 			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
 				Reason: fmt.Sprintf("bad chunk record count %d (want 1..%d)", count, v2MaxChunkRecords)}
@@ -112,15 +192,13 @@ func (d *binV2Decoder) readChunk(buf []trace.Ref) (int, error) {
 		if flags&v2FlagSizes != 0 {
 			payloadLen += int(count)
 		}
-		if cap(d.payload) < payloadLen {
-			d.payload = make([]byte, payloadLen)
-		}
-		p := d.payload[:payloadLen]
-		if _, err := io.ReadFull(d.br, p); err != nil {
+		p, err := d.in.next(payloadLen)
+		if err != nil {
 			return 0, &ParseError{Format: "binaryv2", Offset: chunkStart,
 				Reason: fmt.Sprintf("truncated chunk payload: want %d bytes: %v", payloadLen, err)}
 		}
 		d.off += int64(v2HeaderBytes + payloadLen)
+		d.chunk++
 		if got := crc32.ChecksumIEEE(p); got != wantCRC {
 			// The frame length is still trusted, so the damaged chunk can be
 			// stepped over whole in skip mode.
@@ -163,6 +241,58 @@ func (d *binV2Decoder) readChunk(buf []trace.Ref) (int, error) {
 	}
 }
 
+// isIndexPrefix reports whether p is a (possibly short) prefix of the
+// MXTI01 footer magic.
+func isIndexPrefix(p []byte) bool {
+	if len(p) == 0 {
+		return false
+	}
+	n := len(p)
+	if n > len(indexMagic) {
+		n = len(indexMagic)
+	}
+	return string(p[:n]) == indexMagic[:n]
+}
+
+// consumeFooter drains and parses the MXTI01 footer whose first 16
+// bytes arrived in hdr (a chunk-header-sized read). footerOff is the
+// footer's stream offset. It never fails: a truncated or corrupt footer
+// leaves the decoder index-less — the chunk stream before it was
+// already complete.
+func (d *binV2Decoder) consumeFooter(hdr []byte, footerOff int64) {
+	bodyLen := int64(binary.LittleEndian.Uint32(hdr[len(indexMagic) : len(indexMagic)+4]))
+	// hdr slices the input's window and is invalidated by the next read:
+	// keep the 4 body bytes it already holds before reading on.
+	var first4 [4]byte
+	copy(first4[:], hdr[len(indexMagic)+4:])
+	if bodyLen < 4 || bodyLen > maxIndexFooterBytes {
+		return
+	}
+	// The rest of the footer is the remaining body, the CRC and the
+	// 16-byte trailer.
+	rest, err := d.in.next(int(bodyLen) - 4 + 4 + indexTailBytes)
+	if err != nil {
+		return
+	}
+	body := make([]byte, bodyLen)
+	copy(body, first4[:])
+	copy(body[4:], rest[:bodyLen-4])
+	wantCRC := binary.LittleEndian.Uint32(rest[bodyLen-4 : bodyLen])
+	trailer := rest[bodyLen : bodyLen+indexTailBytes]
+	if crc32.ChecksumIEEE(body) != wantCRC ||
+		string(trailer[8:]) != indexTailMagic ||
+		int64(binary.LittleEndian.Uint64(trailer[:8])) != footerOff {
+		return
+	}
+	ix, perr := parseIndexBody(body, footerOff)
+	if perr != nil {
+		return
+	}
+	if d.idx == nil {
+		d.idx = ix
+	}
+}
+
 // decodeColumns reconstructs one chunk's records into dst[:count] and
 // returns how many survived kind validation (compacting rejects away in
 // skip mode). A returned *ParseError means undecodable column data — the
@@ -177,16 +307,25 @@ func (d *binV2Decoder) decodeColumns(dst []trace.Ref, p []byte, count, addrBytes
 		sizeCol = p[addrBytes+kindBytes : addrBytes+kindBytes+count]
 	}
 
-	// Address column: absolute first, zig-zag deltas after.
+	// Address column: absolute first, zig-zag deltas after. The deltas of
+	// real traces are overwhelmingly single-byte varints (strides within
+	// ±63), so the loop peels that case before the general decoder.
 	pos := 0
 	var addr uint64
 	for i := 0; i < count; i++ {
-		v, n := binary.Uvarint(addrCol[pos:])
-		if n <= 0 {
-			return 0, &ParseError{Format: "binaryv2",
-				Reason: fmt.Sprintf("corrupt address column at record %d", i)}
+		var v uint64
+		if pos < len(addrCol) && addrCol[pos] < 0x80 {
+			v = uint64(addrCol[pos])
+			pos++
+		} else {
+			var n int
+			v, n = binary.Uvarint(addrCol[pos:])
+			if n <= 0 {
+				return 0, &ParseError{Format: "binaryv2",
+					Reason: fmt.Sprintf("corrupt address column at record %d", i)}
+			}
+			pos += n
 		}
-		pos += n
 		if i == 0 {
 			addr = v
 		} else {
@@ -238,20 +377,59 @@ func (d *binV2Decoder) decodeColumns(dst []trace.Ref, p []byte, count, addrBytes
 	return w, nil
 }
 
-// WriteBinaryV2 streams src to w in the mxt v2 columnar chunk format and
-// returns the record count. Like WriteBinary it preserves every
-// trace.Ref bit-for-bit; unlike it, records land in delta-encoded
-// columns that decode a chunk at a time.
+// V2WriterOptions shapes WriteBinaryV2Options.
+type V2WriterOptions struct {
+	// SampleRate in (0, 1) thins the stream at transcode time with the
+	// same SHARDS hash filter the sweep uses (granule IndexGranule,
+	// Mix64, SampleThreshold): the stored artifact keeps only the
+	// sampled granules, and the footer records rate, seed and granule so
+	// sweeps rescale correctly and refuse conflicting re-sampling. 0 and
+	// 1 store the stream exactly.
+	SampleRate float64
+	// SampleSeed seeds the sampling hash.
+	SampleSeed uint64
+	// NoIndex omits the MXTI01 footer (and with it the stats profile),
+	// producing a bare chunk stream.
+	NoIndex bool
+}
+
+// WriteBinaryV2 streams src to w in the mxt v2 columnar chunk format —
+// with the MXTI01 index footer — and returns the record count. Like
+// WriteBinary it preserves every trace.Ref bit-for-bit; unlike it,
+// records land in delta-encoded columns that decode a chunk at a time.
 func WriteBinaryV2(w io.Writer, src trace.Source) (int64, error) {
+	return WriteBinaryV2Options(w, src, V2WriterOptions{})
+}
+
+// WriteBinaryV2Options is WriteBinaryV2 with transcode-time sampling
+// and index control. The returned count is the records written (after
+// sampling).
+func WriteBinaryV2Options(w io.Writer, src trace.Source, wo V2WriterOptions) (int64, error) {
+	if wo.SampleRate < 0 || wo.SampleRate > 1 || wo.SampleRate != wo.SampleRate {
+		return 0, fmt.Errorf("extrace: sampling rate %g must be in [0, 1]", wo.SampleRate)
+	}
+	sampled := wo.SampleRate > 0 && wo.SampleRate < 1
+	var threshold uint64
+	if sampled {
+		threshold = SampleThreshold(wo.SampleRate)
+	}
+
 	bw := bufio.NewWriterSize(w, 64*1024)
 	if _, err := bw.WriteString(binaryV2Magic); err != nil {
 		return 0, fmt.Errorf("extrace: writing binary v2 magic: %w", err)
 	}
 	var (
 		written int64
+		source  int64
 		batch   = make([]trace.Ref, 0, v2ChunkRecords)
 		scratch []byte
+		idxb    *indexBuilder
+		wacc    *accumulator
 	)
+	if !wo.NoIndex {
+		idxb = newIndexBuilder()
+		wacc = newAccumulator()
+	}
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
@@ -259,6 +437,10 @@ func WriteBinaryV2(w io.Writer, src trace.Source) (int64, error) {
 		scratch = appendV2Chunk(scratch[:0], batch)
 		if _, err := bw.Write(scratch); err != nil {
 			return fmt.Errorf("extrace: writing binary v2 chunk after %d records: %w", written, err)
+		}
+		if idxb != nil {
+			idxb.addChunk(batch, len(scratch))
+			wacc.noteBlock(batch)
 		}
 		written += int64(len(batch))
 		batch = batch[:0]
@@ -272,6 +454,10 @@ func WriteBinaryV2(w io.Writer, src trace.Source) (int64, error) {
 		if err != nil {
 			return written, fmt.Errorf("extrace: reading source after %d records: %w", written+int64(len(batch)), err)
 		}
+		source++
+		if sampled && Mix64((r.Addr/IndexGranule)^wo.SampleSeed) >= threshold {
+			continue
+		}
 		batch = append(batch, r)
 		if len(batch) == v2ChunkRecords {
 			if err := flush(); err != nil {
@@ -281,6 +467,22 @@ func WriteBinaryV2(w io.Writer, src trace.Source) (int64, error) {
 	}
 	if err := flush(); err != nil {
 		return written, err
+	}
+	if idxb != nil {
+		st := wacc.snapshot()
+		profile := &IndexProfile{
+			MinAddr:            st.MinAddr,
+			MaxAddr:            st.MaxAddr,
+			FootprintLines:     st.FootprintLines,
+			FootprintSaturated: st.FootprintSaturated,
+			Strides:            st.Strides,
+			StrideOther:        st.StrideOther,
+			SequentialFrac:     st.SequentialFrac,
+		}
+		footer := idxb.appendFooter(scratch[:0], source, sampled, wo.SampleRate, wo.SampleSeed, IndexGranule, profile)
+		if _, err := bw.Write(footer); err != nil {
+			return written, fmt.Errorf("extrace: writing binary v2 index footer: %w", err)
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return written, fmt.Errorf("extrace: flushing binary v2 output: %w", err)
@@ -342,10 +544,26 @@ func appendV2Chunk(dst []byte, recs []trace.Ref) []byte {
 // read side exactly as in NewReader; rejected records are dropped from
 // the output.
 func TranscodeV2(w io.Writer, r io.Reader, opts Options) (int64, IngestStats, error) {
+	return TranscodeV2Options(w, r, opts, V2WriterOptions{})
+}
+
+// TranscodeV2Options is TranscodeV2 with transcode-time sampling. The
+// returned count is the records written; the IngestStats describe the
+// source stream (so Records there is the pre-sampling total). An input
+// that is itself a transcode-sampled artifact is refused: re-encoding
+// it would lose or conflict with its recorded sampling — transcode from
+// the original source instead.
+func TranscodeV2Options(w io.Writer, r io.Reader, opts Options, wo V2WriterOptions) (int64, IngestStats, error) {
 	rd := NewReader(r, opts)
 	defer rd.Close()
-	n, err := WriteBinaryV2(w, rd.Source())
-	return n, rd.Stats(), err
+	n, err := WriteBinaryV2Options(w, rd.Source(), wo)
+	st := rd.Stats()
+	if err == nil {
+		if ix := rd.Index(); ix != nil && ix.Sampled {
+			err = fmt.Errorf("extrace: input is already sampled at transcode time (rate %g, seed %d): refusing to re-encode it; transcode from the original source", ix.SampleRate, ix.SampleSeed)
+		}
+	}
+	return n, st, err
 }
 
 // Source adapts the Reader to the one-record-at-a-time trace.Source

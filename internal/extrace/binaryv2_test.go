@@ -100,8 +100,8 @@ func TestBinaryV2EmptyTrace(t *testing.T) {
 	if err != nil || n != 0 {
 		t.Fatalf("WriteBinaryV2 empty = %d, %v", n, err)
 	}
-	if buf.String() != binaryV2Magic {
-		t.Fatalf("empty v2 trace = %q, want bare magic", buf.String())
+	if !bytes.HasPrefix(buf.Bytes(), []byte(binaryV2Magic)) {
+		t.Fatalf("empty v2 trace = %q, want the magic then the index footer", buf.String())
 	}
 	r := NewReader(bytes.NewReader(buf.Bytes()), Options{})
 	rn, rerr := r.Read(make([]trace.Ref, 4))
@@ -110,6 +110,9 @@ func TestBinaryV2EmptyTrace(t *testing.T) {
 	}
 	if st := r.Stats(); st.Format != "binaryv2" {
 		t.Errorf("format = %q", st.Format)
+	}
+	if ix := r.Index(); ix == nil || len(ix.Chunks) != 0 || ix.Records != 0 {
+		t.Errorf("empty v2 trace index = %+v, want an empty index", ix)
 	}
 }
 

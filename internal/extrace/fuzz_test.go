@@ -180,3 +180,66 @@ func FuzzParseBinaryV2(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseIndexFooter targets the MXTI01 footer parser through the full
+// reading stack: a valid chunk stream followed by the index magic and
+// arbitrary footer bytes must always decode every record and end in clean
+// EOF — a truncated or corrupt footer degrades to index-less reading,
+// never a parse error and never a panic. The seeded corpus starts from a
+// genuine footer and every interesting truncation of it.
+func FuzzParseIndexFooter(f *testing.F) {
+	refs := make([]trace.Ref, v2ChunkRecords+37)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(1+i%5) << 20, Kind: trace.Kind(i % 3), Size: uint8(i % 9)}
+	}
+	var indexed, bare bytes.Buffer
+	if _, err := WriteBinaryV2(&indexed, trace.FromRefs(refs).Reader()); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := WriteBinaryV2Options(&bare, trace.FromRefs(refs).Reader(), V2WriterOptions{NoIndex: true}); err != nil {
+		f.Fatal(err)
+	}
+	chunks := bare.Bytes()
+	footer := append([]byte{}, indexed.Bytes()[len(chunks):]...)
+	f.Add(footer)
+	for _, cut := range []int{1, 7, 8, 9, 12, 16, len(footer) / 2, len(footer) - 1} {
+		if cut <= len(footer) {
+			f.Add(footer[:cut])
+		}
+	}
+	f.Add([]byte{})
+	f.Add(append([]byte(indexMagic), 0xff, 0xff, 0xff, 0x7f))
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		if !bytes.HasPrefix(tail, []byte(indexMagic)) {
+			tail = append([]byte(indexMagic), tail...)
+		}
+		src := append(append([]byte{}, chunks...), tail...)
+
+		// Streaming leg (non-seekable, so the footer is met in-line).
+		r := NewReader(nonSeekable{bytes.NewReader(src)}, Options{})
+		var got int
+		buf := make([]trace.Ref, 129)
+		for {
+			n, err := r.Read(buf)
+			got += n
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("footer bytes leaked a parse error past the chunk stream: %v", err)
+			}
+		}
+		if got != len(refs) {
+			t.Fatalf("decoded %d records, want %d regardless of footer state", got, len(refs))
+		}
+		if st := r.Stats(); st.Records != int64(len(refs)) || st.ChunksSkipped != 0 {
+			t.Fatalf("stats diverged under a fuzzed footer: %+v", st)
+		}
+
+		// Probe leg (seekable): must never panic; any index it does accept
+		// passed CRC and framing validation against this very stream.
+		if ix := ProbeIndex(bytes.NewReader(src)); ix != nil && ix.Records < 0 {
+			t.Fatalf("probe produced a negative record count: %+v", ix)
+		}
+	})
+}

@@ -1,0 +1,6 @@
+//go:build darwin
+
+package extrace
+
+// mmapPopulateFlag: Darwin has no MAP_POPULATE; pages fault in lazily.
+const mmapPopulateFlag = 0

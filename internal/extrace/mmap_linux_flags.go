@@ -1,0 +1,8 @@
+//go:build linux
+
+package extrace
+
+import "syscall"
+
+// mmapPopulateFlag prefaults read-only trace mappings on Linux.
+const mmapPopulateFlag = syscall.MAP_POPULATE

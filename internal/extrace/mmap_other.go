@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package extrace
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapAvailable reports whether this build can memory-map trace files.
+const mmapAvailable = false
+
+var errMmapUnsupported = errors.New("extrace: mmap is not supported on this platform")
+
+// mmapFile is the portable stub: ingestion falls back to the buffered
+// streaming path on platforms without the mmap fast path.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnsupported
+}

@@ -1,0 +1,33 @@
+//go:build linux || darwin
+
+package extrace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether this build can memory-map trace files.
+const mmapAvailable = true
+
+// mmapFile maps f read-only in its entirety and returns the mapped
+// bytes plus the unmap function. size must be f's current size; a zero
+// size cannot be mapped and returns an error so the caller falls back
+// to streaming. The mapping is prefaulted (mmapPopulateFlag, Linux
+// MAP_POPULATE) where the platform supports it: the decoder walks the
+// whole file front to back anyway, and one bulk fault-in is far cheaper
+// than a minor fault every page.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED|mmapPopulateFlag)
+	if err != nil && mmapPopulateFlag != 0 {
+		// Some filesystems reject MAP_POPULATE; plain MAP_SHARED still works.
+		data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -2,9 +2,11 @@ package extrace
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"fmt"
 	"io"
+	"os"
 
 	"memexplore/internal/trace"
 )
@@ -52,6 +54,14 @@ type Reader struct {
 	cdec chunkDecoder // non-nil for chunk-at-a-time formats (mxt v2)
 	acc  *accumulator
 
+	// policy, when set before the first Read, lets the v2 decoder skip
+	// whole indexed chunks (see SetChunkPolicy). mmapped/unmap track the
+	// zero-copy fast path: the whole file mapped read-only, decoded in
+	// place.
+	policy ChunkPolicy
+	mmap   []byte
+	unmap  func() error
+
 	format  string
 	gzipped bool
 	started bool
@@ -72,6 +82,29 @@ func NewReader(r io.Reader, opts Options) *Reader {
 // start peeks at the stream and picks the decompressor and decoder.
 func (r *Reader) start() error {
 	r.started = true
+	// Zero-copy fast path: an uncompressed mxt v2 regular file is
+	// memory-mapped whole and decoded in place. Detection goes through
+	// ReadAt, which never moves the file offset, so every fallback (gzip
+	// file, din file, mmap failure, unsupported platform) drops cleanly
+	// into the streaming path below with the stream untouched.
+	if f, ok := r.raw.r.(*os.File); ok && mmapAvailable {
+		if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() && fi.Size() > int64(len(binaryV2Magic)) {
+			var magic [len(binaryV2Magic)]byte
+			if _, err := f.ReadAt(magic[:], 0); err == nil && string(magic[:]) == binaryV2Magic {
+				if data, unmap, err := mmapFile(f, fi.Size()); err == nil {
+					r.format = "binaryv2"
+					r.mmap = data
+					r.unmap = unmap
+					dec := &binV2Decoder{in: &memInput{data: data, pos: len(binaryV2Magic)},
+						opts: r.opts, acc: r.acc, off: int64(len(binaryV2Magic))}
+					dec.idx = probeIndex(bytes.NewReader(data), int64(len(data)))
+					r.attachPolicy(dec)
+					r.cdec = dec
+					return nil
+				}
+			}
+		}
+	}
 	br := bufio.NewReaderSize(r.raw, 32*1024)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		gz, err := gzip.NewReader(br)
@@ -91,7 +124,20 @@ func (r *Reader) start() error {
 	if magic, err := br.Peek(len(binaryV2Magic)); err == nil && string(magic) == binaryV2Magic {
 		br.Discard(len(binaryV2Magic))
 		r.format = "binaryv2"
-		r.cdec = &binV2Decoder{br: br, opts: r.opts, acc: r.acc, off: int64(len(binaryV2Magic))}
+		dec := &binV2Decoder{in: &streamInput{br: br}, opts: r.opts, acc: r.acc, off: int64(len(binaryV2Magic))}
+		// A seekable, uncompressed source (bytes.Reader, a file on a
+		// platform without mmap) can still preload the index with one
+		// ReadAt from the tail and skip chunks by discarding; gzip and
+		// pipes only discover the footer when the stream reaches it.
+		if !r.gzipped {
+			if ra, ok := r.raw.r.(io.ReaderAt); ok {
+				if size, err := seekableSize(r.raw.r); err == nil {
+					dec.idx = probeIndex(ra, size)
+				}
+			}
+		}
+		r.attachPolicy(dec)
+		r.cdec = dec
 		return nil
 	}
 	r.format = "din"
@@ -99,6 +145,69 @@ func (r *Reader) start() error {
 	// at the line limit so an endless line fails fast instead of growing.
 	r.dec = &dinDecoder{br: bufio.NewReaderSize(br, r.opts.maxLine()), opts: r.opts, acc: r.acc}
 	return nil
+}
+
+// seekableSize reads the total size of a seekable stream and restores
+// its offset (ReadAt-based index probing needs the absolute tail
+// position).
+func seekableSize(r io.Reader) (int64, error) {
+	sk, ok := r.(io.Seeker)
+	if !ok {
+		return 0, fmt.Errorf("extrace: source is not seekable")
+	}
+	cur, err := sk.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	end, err := sk.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sk.Seek(cur, io.SeekStart); err != nil {
+		return 0, err
+	}
+	return end, nil
+}
+
+// attachPolicy arms index-guided chunk skipping on a v2 decoder when
+// every precondition holds: a policy was set, the index is present and
+// carries the encode-time stats profile (without it the skipped-chunk
+// statistics could not be reconstructed), and no record limit is in
+// force (skipping would jump the limit accounting).
+func (r *Reader) attachPolicy(dec *binV2Decoder) {
+	if r.policy != nil && dec.idx != nil && dec.idx.HasProfile && r.opts.MaxRecords == 0 {
+		dec.policy = r.policy
+	}
+}
+
+// SetChunkPolicy installs the per-chunk skip policy consulted against
+// the MXTI01 index. It must be called before the first Read; it has no
+// effect on non-v2 formats, index-less streams, or readers with a
+// record limit. The policy runs on the decoding goroutine (the
+// pipeline's producer): it must be pure and must not touch state that
+// changes during the stream.
+func (r *Reader) SetChunkPolicy(p ChunkPolicy) {
+	r.policy = p
+}
+
+// Index returns the parsed MXTI01 index footer, or nil when the stream
+// has none (or it has not been reached yet: on non-seekable sources the
+// footer is only discovered at end of stream).
+func (r *Reader) Index() *TraceIndex {
+	if d, ok := r.cdec.(*binV2Decoder); ok {
+		return d.idx
+	}
+	return nil
+}
+
+// SkipSummary reports the chunks stepped over under the chunk policy so
+// far. Callers that fan decoding out to a producer goroutine must read
+// it only after joining the producer.
+func (r *Reader) SkipSummary() SkipSummary {
+	if d, ok := r.cdec.(*binV2Decoder); ok {
+		return d.skip
+	}
+	return SkipSummary{}
 }
 
 // Read fills buf with the next records of the trace and reports how many
@@ -165,22 +274,49 @@ func (r *Reader) readChunked(buf []trace.Ref) (int, error) {
 	return n, nil
 }
 
-// Stats snapshots the ingest statistics accumulated so far.
+// Stats snapshots the ingest statistics accumulated so far. When
+// chunks were skipped via the index, the profile fields a skipping
+// reader cannot reconstruct (address range, footprint, strides,
+// sequential fraction) are substituted from the footer's encode-time
+// profile once the stream has ended cleanly — by construction the
+// profile a full decode of the same stream would have accumulated.
 func (r *Reader) Stats() IngestStats {
 	st := r.acc.snapshot()
 	st.Format = r.format
 	st.Gzip = r.gzipped
 	st.BytesRead = r.raw.n
+	if r.mmap != nil {
+		st.Mmap = true
+		st.BytesRead = int64(len(r.mmap))
+	}
+	if d, ok := r.cdec.(*binV2Decoder); ok {
+		if r.err == io.EOF && d.skip.Chunks > 0 && d.idx != nil && d.idx.HasProfile {
+			d.idx.applyProfile(&st)
+		}
+		if d.idx != nil && d.idx.Sampled {
+			st.StoredSampleRate = d.idx.SampleRate
+			st.StoredSampleSeed = d.idx.SampleSeed
+			st.StoredSourceRecords = d.idx.SourceRecords
+		}
+	}
 	return st
 }
 
-// Close releases the decompressor, if any. It does not close the
-// underlying reader, which the caller owns.
+// Close releases the decompressor and the memory mapping, if any. It
+// does not close the underlying reader, which the caller owns.
 func (r *Reader) Close() error {
+	var err error
 	if r.gz != nil {
-		return r.gz.Close()
+		err = r.gz.Close()
 	}
-	return nil
+	if r.unmap != nil {
+		if uerr := r.unmap(); err == nil {
+			err = uerr
+		}
+		r.unmap = nil
+		r.mmap = nil
+	}
+	return err
 }
 
 // --- textual din decoding ---------------------------------------------

@@ -22,8 +22,29 @@ type IngestStats struct {
 	// Rejects counts malformed records skipped under Options.SkipMalformed.
 	Rejects int64 `json:"rejects"`
 	// BytesRead counts the wire bytes consumed from the underlying reader
-	// (compressed bytes for gzip input).
+	// (compressed bytes for gzip input). On the mmap fast path it is the
+	// mapped file size — the whole file is the reader's working set
+	// whether or not every chunk was decoded.
 	BytesRead int64 `json:"bytes_read"`
+	// Mmap reports that the stream was ingested through the zero-copy
+	// memory-mapped fast path.
+	Mmap bool `json:"mmap,omitempty"`
+
+	// ChunksSkipped / RecordsSkipped count whole mxt v2 chunks (and the
+	// records inside them) stepped over via the MXTI01 index instead of
+	// decoded — the records still count in Records and the kind totals,
+	// taken from the index entries.
+	ChunksSkipped  int64 `json:"chunks_skipped,omitempty"`
+	RecordsSkipped int64 `json:"records_skipped,omitempty"`
+
+	// StoredSampleRate / StoredSampleSeed echo the transcode-time sampling
+	// parameters recorded in the artifact's MXTI01 footer (zero for
+	// unsampled artifacts): the stream IS a spatial sample of
+	// StoredSourceRecords original records, thinned by the same seeded
+	// hash the sweep-time filter uses.
+	StoredSampleRate    float64 `json:"stored_sample_rate,omitempty"`
+	StoredSampleSeed    uint64  `json:"stored_sample_seed,omitempty"`
+	StoredSourceRecords int64   `json:"stored_source_records,omitempty"`
 
 	// Reads, Writes, Fetches partition the accepted records by kind.
 	Reads   int64 `json:"reads"`
@@ -115,16 +136,17 @@ type accumulator struct {
 	sequential int64
 
 	granules map[uint64]struct{}
-	// lastGranule caches the most recent granule known to be accounted
-	// for, short-circuiting the map probe on granule-local streaks — the
-	// ingest hot path for sequential traces.
-	lastGranule   uint64
-	lastGranuleOK bool
+	// gcache is a 4-way direct-mapped cache of granules known to be
+	// accounted for, short-circuiting the map probe on granule-local
+	// streaks AND short-period alternations (a ±stride ping-pong between
+	// two granules defeats a single-entry cache) — the ingest hot path.
+	gcacheKey [4]uint64
+	gcacheOK  [4]bool
 
-	strides  map[int64]int64
+	strides  strideTable
 	overflow int64 // strides beyond maxStrideEntries
 	// The current run of identical deltas, folded into the histogram only
-	// when the delta changes (or at snapshot) — one map write per run
+	// when the delta changes (or at snapshot) — one table write per run
 	// instead of one per record.
 	runDelta int64
 	runCount int64
@@ -134,7 +156,46 @@ type accumulator struct {
 func newAccumulator() *accumulator {
 	return &accumulator{
 		granules: make(map[uint64]struct{}),
-		strides:  make(map[int64]int64),
+	}
+}
+
+// strideTable is the exact stride histogram kept during ingest: an
+// open-addressed hash table over plain arrays, sized at 4× the
+// maxStrideEntries capacity so probe chains stay short. It replaces a
+// Go map on the decode hot path — the stride mix of real traces churns
+// through it once per delta run, and the array probe is several times
+// cheaper than a map assign.
+const strideTableSlots = 4 * maxStrideEntries // power of two
+
+type strideTable struct {
+	keys   []int64
+	counts []int64 // 0 = empty slot (stored counts are always positive)
+	n      int     // distinct strides stored, capped at maxStrideEntries
+}
+
+// add folds count occurrences of delta into the table, reporting false
+// when the table is full and delta absent (the caller overflows it) —
+// the same capped-histogram semantics the map had.
+func (t *strideTable) add(delta, count int64) bool {
+	if t.counts == nil {
+		t.keys = make([]int64, strideTableSlots)
+		t.counts = make([]int64, strideTableSlots)
+	}
+	i := int(Mix64(uint64(delta))) & (strideTableSlots - 1)
+	for {
+		if t.counts[i] == 0 {
+			if t.n >= maxStrideEntries {
+				return false
+			}
+			t.keys[i], t.counts[i] = delta, count
+			t.n++
+			return true
+		}
+		if t.keys[i] == delta {
+			t.counts[i] += count
+			return true
+		}
+		i = (i + 1) & (strideTableSlots - 1)
 	}
 }
 
@@ -142,6 +203,23 @@ func newAccumulator() *accumulator {
 // which rejection reaches the statistics.
 func (a *accumulator) reject(n int64) {
 	a.st.Rejects += n
+}
+
+// skipChunk accounts a whole indexed chunk stepped over without
+// decoding: its record and kind counts come from the index entry. The
+// profile fields (address range, footprint, strides) cannot be
+// reconstructed for records never decoded — the Reader substitutes the
+// footer's encode-time profile at end of stream instead — so the
+// consecutive-pair chain is cut here to keep garbage deltas out of the
+// local histogram.
+func (a *accumulator) skipChunk(e *ChunkIndexEntry) {
+	a.st.Records += e.Records
+	a.st.Reads += e.Reads
+	a.st.Writes += e.Writes
+	a.st.Fetches += e.Fetches()
+	a.st.ChunksSkipped++
+	a.st.RecordsSkipped += e.Records
+	a.prevSet = false
 }
 
 // note records one accepted reference.
@@ -167,18 +245,20 @@ func (a *accumulator) note(r trace.Ref) {
 		}
 	}
 	g0, g1 := r.Addr/LineGranule, last/LineGranule
-	if !a.lastGranuleOK || g0 != a.lastGranule || g1 != a.lastGranule {
+	if w0 := g0 & 3; !a.gcacheOK[w0] || a.gcacheKey[w0] != g0 || g1 != g0 {
 		for g := g0; g <= g1; g++ {
-			if _, ok := a.granules[g]; ok {
+			if w := g & 3; a.gcacheOK[w] && a.gcacheKey[w] == g {
 				continue
 			}
-			if len(a.granules) >= maxFootprintGranules {
-				a.st.FootprintSaturated = true
-				break
+			if _, ok := a.granules[g]; !ok {
+				if len(a.granules) >= maxFootprintGranules {
+					a.st.FootprintSaturated = true
+					break
+				}
+				a.granules[g] = struct{}{}
 			}
-			a.granules[g] = struct{}{}
+			a.gcacheKey[g&3], a.gcacheOK[g&3] = g, true
 		}
-		a.lastGranule, a.lastGranuleOK = g1, true
 	}
 	if a.prevSet {
 		delta := int64(r.Addr) - int64(a.prevAddr)
@@ -205,14 +285,13 @@ func (a *accumulator) noteBlock(refs []trace.Ref) {
 }
 
 // flushRun folds the pending delta run into the histogram, preserving
-// the capped-map semantics (a delta absent from a full map overflows).
+// the capped-histogram semantics (a delta absent from a full table
+// overflows).
 func (a *accumulator) flushRun() {
 	if !a.runSet || a.runCount == 0 {
 		return
 	}
-	if _, ok := a.strides[a.runDelta]; ok || len(a.strides) < maxStrideEntries {
-		a.strides[a.runDelta] += a.runCount
-	} else {
+	if !a.strides.add(a.runDelta, a.runCount) {
 		a.overflow += a.runCount
 	}
 	a.runCount = 0
@@ -234,9 +313,11 @@ func (a *accumulator) snapshot() IngestStats {
 		stride int64
 		count  int64
 	}
-	all := make([]sc, 0, len(a.strides))
-	for s, c := range a.strides {
-		all = append(all, sc{s, c})
+	all := make([]sc, 0, a.strides.n)
+	for i, c := range a.strides.counts {
+		if c > 0 {
+			all = append(all, sc{a.strides.keys[i], c})
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].count != all[j].count {

@@ -1,0 +1,104 @@
+package extrace
+
+import (
+	"bufio"
+	"io"
+)
+
+// v2input abstracts where the v2 chunk decoder's bytes come from: a
+// bufio-buffered stream (the portable path, and always the path for
+// gzip and non-seekable sources) or a memory-mapped file region (the
+// zero-copy fast path). The decoder is written against this interface
+// so both sources share one decode loop.
+type v2input interface {
+	// next returns the next n bytes of the stream without copying when
+	// the source allows it. The returned slice is valid only until the
+	// following next/skip call. At a clean end of stream it returns
+	// (nil, io.EOF); a short tail returns the partial bytes together
+	// with io.ErrUnexpectedEOF so the caller can inspect what is there
+	// (the index footer is recognized from a partial header read).
+	next(n int) ([]byte, error)
+	// skip discards n bytes, used to step over indexed chunks without
+	// decoding them.
+	skip(n int64) error
+}
+
+// memInput serves a fully in-memory byte region — the mmap fast path.
+// Every next() is a subslice of data: zero copies between the file and
+// the decode loops.
+type memInput struct {
+	data []byte
+	pos  int
+}
+
+func (m *memInput) next(n int) ([]byte, error) {
+	if m.pos >= len(m.data) {
+		return nil, io.EOF
+	}
+	if rem := len(m.data) - m.pos; rem < n {
+		p := m.data[m.pos:]
+		m.pos = len(m.data)
+		return p, io.ErrUnexpectedEOF
+	}
+	p := m.data[m.pos : m.pos+n]
+	m.pos += n
+	return p, nil
+}
+
+func (m *memInput) skip(n int64) error {
+	if rem := int64(len(m.data) - m.pos); rem < n {
+		m.pos = len(m.data)
+		return io.ErrUnexpectedEOF
+	}
+	m.pos += int(n)
+	return nil
+}
+
+// streamInput serves a bufio-buffered stream, copying each request into
+// a reusable scratch buffer — the portable fallback with exactly the
+// allocation behavior of the pre-mmap decoder.
+type streamInput struct {
+	br      *bufio.Reader
+	scratch []byte
+}
+
+func (s *streamInput) next(n int) ([]byte, error) {
+	// Serve straight out of the bufio window when the request fits —
+	// no copy; chunk payloads larger than the buffer fall back to one
+	// ReadFull into scratch.
+	if p, err := s.br.Peek(n); err == nil {
+		s.br.Discard(n)
+		return p, nil
+	}
+	if cap(s.scratch) < n {
+		s.scratch = make([]byte, n)
+	}
+	p := s.scratch[:n]
+	m, err := io.ReadFull(s.br, p)
+	if err == io.EOF && m == 0 {
+		return nil, io.EOF
+	}
+	if err == io.ErrUnexpectedEOF || (err == io.EOF && m > 0) {
+		return p[:m], io.ErrUnexpectedEOF
+	}
+	return p[:m], err
+}
+
+func (s *streamInput) skip(n int64) error {
+	for n > 0 {
+		step := n
+		const maxStep = 1 << 30
+		if step > maxStep {
+			step = maxStep
+		}
+		d, err := s.br.Discard(int(step))
+		n -= int64(d)
+		if err != nil {
+			if err == io.EOF {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}

@@ -142,6 +142,14 @@ type SampleInfo struct {
 	// MissRateCIMax is the largest per-point 95% confidence half-width
 	// on MissRate across the sweep — a single worst-case error bound.
 	MissRateCIMax float64 `json:"miss_rate_ci_max,omitempty"`
+	// Stored marks a sweep over a transcode-sampled artifact: the sample
+	// was baked in when the trace was converted, and Rate/Seed echo the
+	// parameters recorded in its MXTI01 footer rather than the request.
+	Stored bool `json:"stored,omitempty"`
+	// ChunksSkipped counts the mxt v2 chunks the reader stepped over via
+	// the MXTI01 index instead of decoding — records the filters were
+	// going to drop (or count as cold hits) wholesale.
+	ChunksSkipped int64 `json:"chunks_skipped,omitempty"`
 }
 
 // PlanInfo is the wire form of core.SweepPlan.

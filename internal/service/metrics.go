@@ -34,6 +34,12 @@ type counters struct {
 	// when the last trace sweep was exact).
 	traceSampledRecords expvar.Int
 	traceSampleRate     expvar.Float
+	// traceChunksSkipped totals the mxt v2 chunks stepped over via the
+	// MXTI01 index instead of decoded; traceMmapBytes totals the bytes
+	// ingested through the zero-copy memory-mapped fast path (both
+	// counters).
+	traceChunksSkipped expvar.Int
+	traceMmapBytes     expvar.Int
 	// inclusionGroups counts the (workload, line, sets) groups the
 	// inclusion engine collapsed into single LRU stack passes across
 	// completed sweeps.
@@ -101,6 +107,8 @@ var vars = func() *counters {
 	m.Set("trace_rejects", &c.traceRejects)
 	m.Set("trace_sampled_records", &c.traceSampledRecords)
 	m.Set("trace_sample_rate", &c.traceSampleRate)
+	m.Set("trace_chunks_skipped", &c.traceChunksSkipped)
+	m.Set("trace_mmap_bytes", &c.traceMmapBytes)
 	m.Set("inclusion_groups", &c.inclusionGroups)
 	m.Set("latency_ms", &c.latency)
 	m.Set("last_sweep_points_per_sec", &c.lastPointsPerSec)

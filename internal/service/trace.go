@@ -264,6 +264,13 @@ func (s *Server) runTrace(ctx context.Context, body io.Reader, tq traceQuery, tr
 			SampledRecords: ms[0].SampledRecords,
 			SkippedShare:   ms[0].SkippedShare,
 			MissRateCIMax:  maxCI,
+			ChunksSkipped:  st.ChunksSkipped,
+		}
+		if st.StoredSampleRate > 0 {
+			// A transcode-sampled artifact: the effective rate and seed are
+			// the ones recorded in its footer, not the request's.
+			meta.Sample.Stored = true
+			meta.Sample.Seed = st.StoredSampleSeed
 		}
 		vars.traceSampledRecords.Add(ms[0].SampledRecords)
 		vars.traceSampleRate.Set(ms[0].SampleRate)
@@ -327,5 +334,9 @@ func (s *Server) traceSweep(ctx context.Context, body io.Reader, tq traceQuery, 
 	vars.traceBytesRead.Add(st.BytesRead)
 	vars.traceRecords.Add(st.Records)
 	vars.traceRejects.Add(st.Rejects)
+	vars.traceChunksSkipped.Add(st.ChunksSkipped)
+	if st.Mmap {
+		vars.traceMmapBytes.Add(st.BytesRead)
+	}
 	return ms, st, err
 }

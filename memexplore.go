@@ -410,6 +410,15 @@ type (
 	// TraceReader streams records from an external trace with constant
 	// memory; its Read fills []TraceRef chunks.
 	TraceReader = extrace.Reader
+	// TraceWriterOptions shapes mxt v2 encoding: transcode-time spatial
+	// sampling (rate and seed recorded in the artifact's index footer so
+	// sweeps rescale correctly) and index suppression.
+	TraceWriterOptions = extrace.V2WriterOptions
+	// TraceIndex is the parsed MXTI01 index footer of an mxt v2 artifact:
+	// per-chunk byte frames, record counts and granule summaries, the
+	// encode-time ingest profile, and any transcode-time sampling
+	// parameters.
+	TraceIndex = extrace.TraceIndex
 )
 
 // External-trace typed errors.
@@ -473,6 +482,23 @@ func WriteBinaryV2Trace(w io.Writer, tr *Trace) (int64, error) {
 // the source stream.
 func TranscodeTraceV2(w io.Writer, r io.Reader, ing TraceIngestOptions) (int64, TraceIngestStats, error) {
 	return extrace.TranscodeV2(w, r, ing)
+}
+
+// TranscodeTraceV2Options is TranscodeTraceV2 with writer options:
+// transcode-time spatial sampling (the artifact keeps a deterministic
+// ~rate fraction of the address space, recorded in its MXTI01 footer so
+// sweeps rescale automatically and refuse conflicting re-sampling) and
+// index suppression. Re-encoding an already-sampled artifact is refused.
+func TranscodeTraceV2Options(w io.Writer, r io.Reader, ing TraceIngestOptions, wo TraceWriterOptions) (int64, TraceIngestStats, error) {
+	return extrace.TranscodeV2Options(w, r, ing, wo)
+}
+
+// ProbeTraceIndex reads the MXTI01 index footer of a seekable mxt v2
+// stream without consuming it (the read offset is restored). It returns
+// nil for any non-v2, gzipped, non-seekable, index-less or corrupt
+// input — probing never fails.
+func ProbeTraceIndex(r io.Reader) *TraceIndex {
+	return extrace.ProbeIndex(r)
 }
 
 // Scratchpad types and helpers (the Panda/Dutt on-chip alternative).
