@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test short bench bench-sweep bench-trace bench-ingest bench-service bench-search bench-guard figs exhibits fuzz cover clean check serve
+.PHONY: all build vet test short bench bench-sweep bench-trace bench-ingest bench-service bench-dist bench-search bench-guard figs exhibits fuzz cover clean check serve
 
 all: build vet test
 
@@ -69,6 +69,13 @@ bench-search:
 # server; the report lands in BENCH_service.json.
 bench-service:
 	$(GO) run ./cmd/memexplore-bench
+
+# Distributed trace sweeps: replica subprocesses (GOMAXPROCS=1 each)
+# over a shared jobs directory, wall-clock legs at 1/2/4 replicas plus
+# an isolated-shard critical-path projection, byte-diffed against the
+# local run; the report lands in BENCH_dist.json.
+bench-dist:
+	$(GO) run ./cmd/memexplore-bench -dist
 
 # CI smoke: one iteration of the sweep benchmark on a vet-clean build —
 # catches engine regressions without paying full benchmark time.

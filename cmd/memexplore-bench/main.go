@@ -43,10 +43,36 @@ func main() {
 		jobSlots = flag.Int("jobs", 2, "in-process server: max concurrently running jobs")
 		out      = flag.String("out", "BENCH_service.json", "write the JSON report here ('-' for stdout only)")
 		smoke    = flag.Bool("smoke", false, "tiny CI run: few requests, small sweep space")
+
+		dist        = flag.Bool("dist", false, "benchmark distributed trace sweeps across replica subprocesses instead (writes BENCH_dist.json)")
+		distRecords = flag.Int("dist-records", 4_000_000, "-dist: synthetic trace records per sweep")
+		distIters   = flag.Int("dist-iters", 3, "-dist: iterations per leg (best time wins)")
+
+		// Internal flags of the replica subprocess mode; see dist.go.
+		replicaJobsDir = flag.String("replica-jobs-dir", "", "internal: serve as a replica over this shared jobs directory")
+		replicaPeers   = flag.String("replica-peers", "", "internal: comma-separated peer base URLs for the replica")
 	)
 	flag.Parse()
+	if *replicaJobsDir != "" {
+		runReplica(*replicaJobsDir, *replicaPeers)
+		return
+	}
 	if *smoke {
 		*conc, *requests, *jobCount = 2, 8, 4
+	}
+	if *dist {
+		if *smoke {
+			*distRecords, *distIters = 200_000, 1
+		}
+		if *out == "BENCH_service.json" { // the -out default belongs to the service phase
+			*out = "BENCH_dist.json"
+		}
+		report, err := runDistPhase(*distRecords, *distIters, *smoke)
+		if err != nil {
+			fatal(err)
+		}
+		writeReport(report, *out)
+		return
 	}
 
 	base := *addr
@@ -81,16 +107,22 @@ func main() {
 	}
 	report.Jobs = jobStats
 
+	writeReport(report, *out)
+}
+
+// writeReport echoes a report to stdout and, unless out is "-", writes
+// it to the named file.
+func writeReport(report any, out string) {
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(string(blob))
-	if *out != "-" {
-		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+	if out != "-" {
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "wrote", *out)
+		fmt.Fprintln(os.Stderr, "wrote", out)
 	}
 }
 

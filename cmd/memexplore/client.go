@@ -171,7 +171,7 @@ func (c *client) submitExplore(kernelName, kernelFile string, opts memexplore.Op
 // submitTrace submits an "explore-trace" job: the trace file is the
 // request body, the sweep options ride in the X-Memexplore-Options
 // header.
-func (c *client) submitTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOptions, cycleBound, energyBound float64) (jobRecord, error) {
+func (c *client) submitTrace(path string, opts memexplore.Options, ing memexplore.TraceIngestOptions, shards int, cycleBound, energyBound float64) (jobRecord, error) {
 	var in io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -197,10 +197,12 @@ func (c *client) submitTrace(path string, opts memexplore.Options, ing memexplor
 		CycleBound    float64         `json:"cycle_bound,omitempty"`
 		EnergyBoundNJ float64         `json:"energy_bound_nj,omitempty"`
 		Workers       int             `json:"workers,omitempty"`
+		Shards        int             `json:"shards,omitempty"`
 	}{
 		Kind: "explore-trace", Options: optsJSON,
 		MaxRecords: ing.MaxRecords, SkipMalformed: ing.SkipMalformed,
 		CycleBound: cycleBound, EnergyBoundNJ: energyBound, Workers: opts.Workers,
+		Shards: shards,
 	}
 	trJSON, err := json.Marshal(tr)
 	if err != nil {
@@ -275,7 +277,7 @@ func renderJob(rec jobRecord, ro reportOpts) error {
 // job, or submit the sweep the local flags describe.
 func runClient(server, jobID string, wait bool, tracePath string,
 	kernelName, kernelFile string, opts memexplore.Options,
-	ing memexplore.TraceIngestOptions, cycleBound, energyBound float64, ro reportOpts) error {
+	ing memexplore.TraceIngestOptions, shards int, cycleBound, energyBound float64, ro reportOpts) error {
 	c := newClient(server)
 	if jobID != "" {
 		if !wait {
@@ -296,7 +298,7 @@ func runClient(server, jobID string, wait bool, tracePath string,
 		err error
 	)
 	if tracePath != "" {
-		rec, err = c.submitTrace(tracePath, opts, ing, cycleBound, energyBound)
+		rec, err = c.submitTrace(tracePath, opts, ing, shards, cycleBound, energyBound)
 	} else {
 		rec, err = c.submitExplore(kernelName, kernelFile, opts, cycleBound, energyBound)
 	}

@@ -86,6 +86,7 @@ func main() {
 		searchSeed  = flag.Uint64("seed", 0, "with -search, random seed — the same seed and budget reproduce the archive exactly")
 		popSize     = flag.Int("pop", 0, "with -search, NSGA-II population size (0 = default)")
 		serverURL   = flag.String("server", "", "submit the sweep to this memexplored base URL as an async job instead of running locally")
+		shards      = flag.Int("shards", 0, "with -server and -trace, distribute the sweep across this many replica shards (-1 = one per replica, 0/1 = local to the server)")
 		jobID       = flag.String("job", "", "with -server, fetch (or with -wait, await) this existing job id instead of submitting")
 		waitJob     = flag.Bool("wait", false, "with -server, poll the job until it finishes and render its result")
 	)
@@ -127,13 +128,20 @@ func main() {
 		if *searchMode {
 			fatal(fmt.Errorf("-search runs locally; POST the request to the server's /v1/search endpoint instead"))
 		}
+		if *shards != 0 && *tracePath == "" {
+			fatal(fmt.Errorf("-shards distributes a trace sweep; it requires -trace"))
+		}
 		ing := memexplore.TraceIngestOptions{MaxRecords: *maxRecords, SkipMalformed: *skipBad}
 		ro := reportOpts{top: *top, cycleBound: *cycleBound, energyBound: *energyBound, pareto: *pareto}
 		if err := runClient(*serverURL, *jobID, *waitJob, *tracePath,
-			*kernelName, *kernelFile, opts, ing, *cycleBound, *energyBound, ro); err != nil {
+			*kernelName, *kernelFile, opts, ing, *shards, *cycleBound, *energyBound, ro); err != nil {
 			fatal(err)
 		}
 		return
+	}
+
+	if *shards != 0 {
+		fatal(fmt.Errorf("-shards requires -server: distribution runs across memexplored replicas"))
 	}
 
 	if *program != "" {

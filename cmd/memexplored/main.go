@@ -9,7 +9,8 @@
 // Usage:
 //
 //	memexplored [-addr :8080] [-sweeps 4] [-workers 0] [-cache 128] [-max-body 8388608]
-//	            [-jobs 2] [-job-ttl 15m] [-job-cache 256] [-jobs-dir DIR] [-drain 30s] [-pprof]
+//	            [-jobs 2] [-job-ttl 15m] [-job-cache 256] [-jobs-dir DIR]
+//	            [-peers URL,URL] [-drain 30s] [-pprof]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new sweeps and job
 // submissions are rejected with 503 while in-flight work drains for up
@@ -28,6 +29,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,7 +59,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	jobSlots := fs.Int("jobs", 2, "max concurrently running async jobs")
 	jobTTL := fs.Duration("job-ttl", 15*time.Minute, "how long finished job records stay readable (in-memory store)")
 	jobCap := fs.Int("job-cache", 256, "in-memory job store capacity in records")
-	jobsDir := fs.String("jobs-dir", "", "store job records as files under this directory (shared result tier; overrides -job-ttl/-job-cache)")
+	jobsDir := fs.String("jobs-dir", "", "store job records as files under this directory (shared result tier; overrides -job-cache, -job-ttl becomes the cleanup TTL)")
+	peers := fs.String("peers", "", "comma-separated base URLs of sibling replicas for distributed sweeps (e.g. http://host:8081,http://host:8082)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
@@ -72,8 +75,22 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		JobTTL:              *jobTTL,
 		JobCapacity:         *jobCap,
 		JobsDir:             *jobsDir,
+		Peers:               splitPeers(*peers),
 	}
 	return serve(ctx, *addr, cfg, *drain, *pprofOn, logw, ready)
+}
+
+// splitPeers parses the -peers list, dropping empty entries and
+// trailing slashes so "http://a:8081/," round-trips cleanly.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // debugMux wraps the service handler with the net/http/pprof endpoints

@@ -157,14 +157,50 @@ func ShardUnits(cfgs []Config, inclusion bool, n int) ([]int, error) {
 	return units, nil
 }
 
-// unitWeightsFor computes the pass-unit cost weights newSweep would
-// form for the configurations, in the same canonical unit order, with
-// none of the construction cost (no stacks, no line arrays). Pinned
-// against the built Sweep by TestShardUnitsMatchBuiltSweep.
-func unitWeightsFor(cfgs []Config, inclusion bool) ([]int, error) {
+// ShardConfigs partitions the configurations into at most n shards at
+// pass-unit granularity: each returned slice lists the configuration
+// indices (ascending) whose pass units one shard owns, following exactly
+// the LPT assignment Shards performs on the built sweep. Because the cut
+// is at unit granularity, every inclusion group travels whole — the
+// grouping rules re-form the identical groups inside each shard's
+// configuration subset — which is what makes a shard-scoped sweep's
+// per-configuration statistics bit-identical to the full sweep's. This
+// is the serialization surface of distributed sweeps: a coordinator and
+// its peers re-derive the same partition from (cfgs, inclusion, n)
+// alone, so the wire carries only a shard index and count.
+func ShardConfigs(cfgs []Config, inclusion bool, n int) ([][]int, error) {
+	weights, units, err := unitConfigsFor(cfgs, inclusion)
+	if err != nil {
+		return nil, err
+	}
+	assign := partitionWeights(weights, n)
+	out := make([][]int, len(assign))
+	for i, us := range assign {
+		var idx []int
+		for _, u := range us {
+			idx = append(idx, units[u]...)
+		}
+		// Units keep canonical order, but a fallback unit's configs can
+		// interleave with group configs in Space() order — restore
+		// ascending configuration order within the shard.
+		for a := 1; a < len(idx); a++ { // insertion sort: shards are small
+			for b := a; b > 0 && idx[b] < idx[b-1]; b-- {
+				idx[b], idx[b-1] = idx[b-1], idx[b]
+			}
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// unitConfigsFor mirrors unitWeightsFor but additionally reports, per
+// pass unit, the configuration indices the unit covers — inclusion
+// groups first (first-encounter order), then fallback configurations in
+// configuration order, exactly as newSweep forms them.
+func unitConfigsFor(cfgs []Config, inclusion bool) ([]int, [][]int, error) {
 	for _, cfg := range cfgs {
 		if err := cfg.Validate(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	type geom struct{ lineBytes, sets int }
@@ -178,11 +214,12 @@ func unitWeightsFor(cfgs []Config, inclusion bool) ([]int, error) {
 	}
 	groupIdx := make(map[geom]int)
 	var groupMaxA []int
-	var fallback int
-	for _, cfg := range cfgs {
+	var groupCfgs [][]int
+	var fallback [][]int
+	for ci, cfg := range cfgs {
 		key := geom{cfg.LineBytes, cfg.NumSets()}
 		if !inclusion || !InclusionEligible(cfg) || eligible[key] < 2 {
-			fallback++
+			fallback = append(fallback, []int{ci})
 			continue
 		}
 		gi, ok := groupIdx[key]
@@ -190,17 +227,31 @@ func unitWeightsFor(cfgs []Config, inclusion bool) ([]int, error) {
 			gi = len(groupMaxA)
 			groupIdx[key] = gi
 			groupMaxA = append(groupMaxA, 0)
+			groupCfgs = append(groupCfgs, nil)
 		}
 		if cfg.Assoc > groupMaxA[gi] {
 			groupMaxA[gi] = cfg.Assoc
 		}
+		groupCfgs[gi] = append(groupCfgs[gi], ci)
 	}
-	weights := make([]int, 0, len(groupMaxA)+fallback)
-	for _, maxA := range groupMaxA {
+	weights := make([]int, 0, len(groupMaxA)+len(fallback))
+	units := make([][]int, 0, len(groupMaxA)+len(fallback))
+	for gi, maxA := range groupMaxA {
 		weights = append(weights, groupUnitBaseWeight+maxA)
+		units = append(units, groupCfgs[gi])
 	}
-	for i := 0; i < fallback; i++ {
+	for _, f := range fallback {
 		weights = append(weights, cacheUnitWeight)
+		units = append(units, f)
 	}
-	return weights, nil
+	return weights, units, nil
+}
+
+// unitWeightsFor computes the pass-unit cost weights newSweep would
+// form for the configurations, in the same canonical unit order, with
+// none of the construction cost (no stacks, no line arrays). Pinned
+// against the built Sweep by TestShardUnitsMatchBuiltSweep.
+func unitWeightsFor(cfgs []Config, inclusion bool) ([]int, error) {
+	weights, _, err := unitConfigsFor(cfgs, inclusion)
+	return weights, err
 }

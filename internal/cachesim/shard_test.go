@@ -194,3 +194,81 @@ func TestPartitionWeightsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestShardConfigsPartition pins the config-index view of the shard
+// plan: every config index appears in exactly one shard, indices are
+// ascending within a shard, the plan is deterministic, inclusion groups
+// never split across shards, and the per-shard unit counts agree with
+// ShardUnits on the same inputs.
+func TestShardConfigsPartition(t *testing.T) {
+	cfgs := shardTestConfigs()
+	for _, inclusion := range []bool{true, false} {
+		for _, n := range []int{1, 2, 3, 5, 8, 50} {
+			plan, err := ShardConfigs(cfgs, inclusion, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := ShardConfigs(cfgs, inclusion, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plan, again) {
+				t.Fatalf("inclusion=%v n=%d: plan not deterministic", inclusion, n)
+			}
+
+			seen := make(map[int]int) // config index -> shard
+			for si, shard := range plan {
+				if len(shard) == 0 {
+					t.Errorf("inclusion=%v n=%d: empty shard %d", inclusion, n, si)
+				}
+				for i, ci := range shard {
+					if i > 0 && shard[i-1] >= ci {
+						t.Errorf("inclusion=%v n=%d: shard %d not ascending: %v", inclusion, n, si, shard)
+					}
+					if ci < 0 || ci >= len(cfgs) {
+						t.Fatalf("inclusion=%v n=%d: config index %d out of range", inclusion, n, ci)
+					}
+					if prev, dup := seen[ci]; dup {
+						t.Errorf("inclusion=%v n=%d: config %d in shards %d and %d", inclusion, n, ci, prev, si)
+					}
+					seen[ci] = si
+				}
+			}
+			if len(seen) != len(cfgs) {
+				t.Errorf("inclusion=%v n=%d: plan covers %d of %d configs", inclusion, n, len(seen), len(cfgs))
+			}
+
+			units, err := ShardUnits(cfgs, inclusion, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(units) != len(plan) {
+				t.Fatalf("inclusion=%v n=%d: ShardConfigs has %d shards, ShardUnits %d", inclusion, n, len(plan), len(units))
+			}
+
+			if inclusion {
+				// Every inclusion group — ≥2 eligible configs sharing a
+				// (line, sets) geometry — must land whole in one shard.
+				type geom struct{ line, sets int }
+				count := make(map[geom]int)
+				for _, c := range cfgs {
+					if InclusionEligible(c) {
+						count[geom{c.LineBytes, c.NumSets()}]++
+					}
+				}
+				home := make(map[geom]int)
+				for ci, shard := range seen {
+					c := cfgs[ci]
+					g := geom{c.LineBytes, c.NumSets()}
+					if !InclusionEligible(c) || count[g] < 2 {
+						continue
+					}
+					if h, ok := home[g]; ok && h != shard {
+						t.Errorf("n=%d: inclusion group %+v split across shards %d and %d", n, g, h, shard)
+					}
+					home[g] = shard
+				}
+			}
+		}
+	}
+}

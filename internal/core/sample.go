@@ -288,10 +288,14 @@ func dominantPrepass(ctx context.Context, r io.Reader, ing extrace.Options, gshi
 	if counts == nil || total == 0 {
 		return nil, nil
 	}
+	return hotSetFrom(counts, total, eps), nil
+}
 
-	// Hot set: granules by descending transition count (ties by ascending
-	// granule, for determinism) until ≥ (1−ε) of the transitions are
-	// covered.
+// hotSetFrom selects the smallest hot set covering ≥ (1−ε) of the
+// histogram weight: granules by descending count, ties by ascending
+// granule, for determinism. Shared by the decode prepass (transition
+// counts) and the index prepass (chunk-presence counts).
+func hotSetFrom(counts map[uint64]int64, total int64, eps float64) map[uint64]struct{} {
 	type gc struct {
 		g uint64
 		c int64
@@ -316,5 +320,55 @@ func dominantPrepass(ctx context.Context, r io.Reader, ing extrace.Options, gshi
 		hot[e.g] = struct{}{}
 		covered += e.c
 	}
-	return hot, nil
+	return hot
+}
+
+// dominantFromIndex builds the dominant hot set from an MXTI01 footer's
+// per-chunk granule summaries alone — no decode pass, so `-dominant-eps`
+// on an indexed artifact costs one footer read. The criterion is
+// EXPLICITLY COARSER than dominantPrepass's: the footer records which
+// granules each chunk touches (presence), not the transitions between
+// them, so a granule's score here is the number of chunks it appears in
+// rather than its share of the stream's block transitions. A granule hot
+// by transitions is touched by the chunks carrying those transitions, so
+// the two criteria agree on strongly dominant working sets, but the ε
+// bound holds against chunk-presence mass, not transition mass — results
+// under this prepass are equal to the exact sweep only within the usual
+// ε tolerance, not bit-identical to the decode-prepass filter (pinned by
+// TestDominantIndexPrepass). ok is false when the index cannot support
+// the computation — no index, or a chunk whose summary overflowed — and
+// the caller must fall back to the decode prepass. A hot==nil, ok==true
+// result means the footprint overflowed maxDominantGranules and the
+// filter is disabled, exactly as the decode prepass disables it.
+func dominantFromIndex(ix *extrace.TraceIndex, gshift uint, eps float64) (hot map[uint64]struct{}, ok bool) {
+	if ix == nil || len(ix.Chunks) == 0 {
+		return nil, false
+	}
+	for i := range ix.Chunks {
+		if len(ix.Chunks[i].Granules) == 0 {
+			return nil, false // overflowed summary: the chunk's granules are unknown
+		}
+	}
+	shift := gshift - uint(bits.TrailingZeros(uint(extrace.IndexGranule)))
+	counts := make(map[uint64]int64)
+	var total int64
+	for i := range ix.Chunks {
+		prev := ^uint64(0)
+		for _, g64 := range ix.Chunks[i].Granules {
+			sg := g64 >> shift
+			if sg == prev {
+				continue // ascending list: equal sweep granules are adjacent
+			}
+			prev = sg
+			if _, ok := counts[sg]; !ok && len(counts) >= maxDominantGranules {
+				return nil, true // footprint overflow: disable the filter
+			}
+			counts[sg]++
+			total++
+		}
+	}
+	if total == 0 {
+		return nil, true
+	}
+	return hotSetFrom(counts, total, eps), true
 }

@@ -74,6 +74,19 @@ func traceSpace(opts Options) (Options, error) {
 // ErrEmptyTrace. The IngestStats snapshot is valid even when an error is
 // returned — it reports whatever was ingested up to the failure.
 func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extrace.Options) ([]Metrics, extrace.IngestStats, error) {
+	return exploreTraceSubset(ctx, r, opts, ing, nil)
+}
+
+// exploreTraceSubset is ExploreTraceReader restricted to a subset of the
+// sweep's configuration points (nil means all of them): the engine it
+// builds owns only the subset's pass units, but the stream-thinning
+// filters, the bus counter, and every rescaling decision are functions
+// of (options, trace bytes) alone — identical for any subset — so the
+// Metrics it returns are bit-for-bit the values the full sweep computes
+// for those points. That property is what distributed shard execution
+// (ExploreTraceShard) and its exact merge stand on. subset must be
+// ascending point indices into opts.Space() after the trace restriction.
+func exploreTraceSubset(ctx context.Context, r io.Reader, opts Options, ing extrace.Options, subset []int) ([]Metrics, extrace.IngestStats, error) {
 	opts, err := traceSpace(opts)
 	if err != nil {
 		return nil, extrace.IngestStats{}, err
@@ -81,6 +94,16 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	points := opts.Space()
 	if len(points) == 0 {
 		return nil, extrace.IngestStats{}, invalidOptions("cache_sizes", "the options admit no legal (T, L, S) configuration")
+	}
+	if subset != nil {
+		sel := make([]ConfigPoint, len(subset))
+		for i, pi := range subset {
+			if pi < 0 || pi >= len(points) {
+				return nil, extrace.IngestStats{}, fmt.Errorf("core: shard point index %d outside the %d-point space", pi, len(points))
+			}
+			sel[i] = points[pi]
+		}
+		points = sel
 	}
 	cfgs := make([]cachesim.Config, len(points))
 	for i, p := range points {
@@ -124,9 +147,20 @@ func ExploreTraceReader(ctx context.Context, r io.Reader, opts Options, ing extr
 	if opts.SampleRate > 0 || opts.DominantEps > 0 {
 		filter = newTraceFilter(opts)
 		if opts.DominantEps > 0 {
-			hot, err := dominantPrepass(ctx, r, ing, filter.gshift, opts.DominantEps)
-			if err != nil {
-				return nil, extrace.IngestStats{}, err
+			// Index-guided prepass first: an MXTI01 footer with exact
+			// per-chunk granule summaries yields the hot set from the
+			// footer alone (coarser presence criterion, same ε tolerance —
+			// see dominantFromIndex). MaxRecords truncation must fall back:
+			// the footer summarizes the whole artifact, not the prefix.
+			hot, fromIndex := map[uint64]struct{}(nil), false
+			if ing.MaxRecords == 0 {
+				hot, fromIndex = dominantFromIndex(storedIdx, filter.gshift, opts.DominantEps)
+			}
+			if !fromIndex {
+				hot, err = dominantPrepass(ctx, r, ing, filter.gshift, opts.DominantEps)
+				if err != nil {
+					return nil, extrace.IngestStats{}, err
+				}
 			}
 			filter.hot = hot
 		}

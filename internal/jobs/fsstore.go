@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 )
 
 // FSStore is the shareable Store: each record is one JSON file in a
@@ -91,4 +93,133 @@ func (s *FSStore) Delete(key string) error {
 		return fmt.Errorf("jobs: deleting record: %w", err)
 	}
 	return nil
+}
+
+// blobPath maps a blob key to its file. Blobs use a distinct extension
+// so the record scan of Cleanup never tries to decode one.
+func (s *FSStore) blobPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".blob")
+}
+
+// PutBlob stores an opaque byte blob under key — the trace-upload-once
+// tier of distributed sweeps: a coordinator publishes the trace body by
+// content hash, peers sharing the directory resolve it without the bytes
+// ever crossing the wire again. Written with the same atomic
+// temp-and-rename discipline as records.
+func (s *FSStore) PutBlob(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".blob-*")
+	if err != nil {
+		return fmt.Errorf("jobs: creating temp blob: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: writing blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobs: closing blob: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.blobPath(key)); err != nil {
+		return fmt.Errorf("jobs: publishing blob: %w", err)
+	}
+	return nil
+}
+
+// GetBlob returns the blob stored under key, if any.
+func (s *FSStore) GetBlob(key string) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.blobPath(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("jobs: reading blob: %w", err)
+	}
+	return data, true, nil
+}
+
+// Cleanup removes terminal job records older than ttl, cascading through
+// each expired record's content-key entry and its children (the shard
+// jobs of a distributed sweep) — without the cascade, a shared directory
+// leaks shard results whose parent is long gone, because a child's
+// content key is reachable only through its record. Blobs are reaped by
+// modification time under the same ttl; a distributed dispatch whose
+// blob is reaped mid-flight degrades gracefully (the peer reports
+// unknown_trace_ref and the coordinator re-ships the body). Returns the
+// number of files removed. Decode failures and fresh records are
+// skipped, never fatal: cleanup is a janitor, not a transaction.
+func (s *FSStore) Cleanup(ttl time.Duration) (int, error) {
+	cutoff := time.Now().Add(-ttl)
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("jobs: scanning store for cleanup: %w", err)
+	}
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		full := filepath.Join(s.dir, name)
+		if strings.HasSuffix(name, ".blob") {
+			if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
+				if os.Remove(full) == nil {
+					removed++
+				}
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(full)
+		if err != nil {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(data, &rec) != nil || !rec.State.Terminal() {
+			continue
+		}
+		at := rec.CreatedAt
+		if rec.FinishedAt != nil {
+			at = *rec.FinishedAt
+		}
+		if !at.Before(cutoff) {
+			continue
+		}
+		removed += s.removeCascade(rec, full, 0)
+	}
+	return removed, nil
+}
+
+// removeCascade deletes one record file plus its content-key alias and,
+// recursively, its children's records. depth bounds pathological cycles
+// a corrupted store could otherwise loop on.
+func (s *FSStore) removeCascade(rec Record, full string, depth int) int {
+	if depth > 4 {
+		return 0
+	}
+	removed := 0
+	if os.Remove(full) == nil {
+		removed++
+	}
+	if rec.ContentKey != "" {
+		if os.Remove(s.path(rec.ContentKey)) == nil {
+			removed++
+		}
+	}
+	for _, child := range rec.Children {
+		cp := s.path(child)
+		data, err := os.ReadFile(cp)
+		if err != nil {
+			continue
+		}
+		var crec Record
+		if json.Unmarshal(data, &crec) != nil {
+			// Undecodable child: remove the file itself, nothing to cascade.
+			if os.Remove(cp) == nil {
+				removed++
+			}
+			continue
+		}
+		removed += s.removeCascade(crec, cp, depth+1)
+	}
+	return removed
 }

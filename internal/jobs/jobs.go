@@ -83,6 +83,10 @@ type Record struct {
 	// canonical hash the synchronous result cache uses). Jobs sharing a
 	// content key share a result in the store-backed tier.
 	ContentKey string `json:"content_key,omitempty"`
+	// Children lists the ids of child jobs this job fanned out — the
+	// shard jobs of a distributed sweep. Store cleanup cascades through
+	// them so an expired parent never strands shard results.
+	Children []string `json:"children,omitempty"`
 	// Result is the completed sweep's response body (present when
 	// State == done); its shape equals the synchronous endpoint's reply.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -96,6 +100,9 @@ func (r Record) Clone() Record {
 	cp := r
 	if r.Result != nil {
 		cp.Result = append(json.RawMessage(nil), r.Result...)
+	}
+	if r.Children != nil {
+		cp.Children = append([]string(nil), r.Children...)
 	}
 	if r.Error != nil {
 		e := *r.Error

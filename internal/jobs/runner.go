@@ -358,3 +358,12 @@ func (p *Reporter) Add(records, chunks, points, passUnits int64) {
 		rec.Progress.PassUnitsDone += passUnits
 	})
 }
+
+// AddChild records a child job id on the running job's record, so the
+// parent-child link survives into the persisted record and store cleanup
+// can cascade.
+func (p *Reporter) AddChild(id string) {
+	p.t.bump(func(rec *Record) {
+		rec.Children = append(rec.Children, id)
+	})
+}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"encoding/json"
+	"os"
 	"testing"
 	"time"
 )
@@ -223,5 +224,114 @@ func TestMemStoreCapacity(t *testing.T) {
 	}
 	if got := s.Len(); got != 2 {
 		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+// TestFSStoreBlobs: the blob tier round-trips bytes and misses cleanly.
+func TestFSStoreBlobs(t *testing.T) {
+	fs, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := fs.GetBlob("deadbeef"); err != nil || ok {
+		t.Fatalf("missing blob: ok=%v err=%v", ok, err)
+	}
+	want := []byte("trace bytes")
+	if err := fs.PutBlob("deadbeef", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := fs.GetBlob("deadbeef")
+	if err != nil || !ok || string(got) != string(want) {
+		t.Fatalf("GetBlob = %q, %v, %v", got, ok, err)
+	}
+	// Overwrite is idempotent (content-addressed keys).
+	if err := fs.PutBlob("deadbeef", want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// backdate pushes a store file's timestamps into the past so a short-TTL
+// Cleanup sees it as expired.
+func backdate(t *testing.T, path string, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFSStoreCleanupCascade is the sweep-then-stat contract of the
+// janitor: expiring a terminal parent job removes its record, its
+// content-key alias, its children's records and their aliases, and aged
+// blobs — while fresh records, live (non-terminal) records, and fresh
+// blobs survive.
+func TestFSStoreCleanupCascade(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := time.Now().Add(-time.Hour)
+	put := func(rec Record) {
+		t.Helper()
+		if err := fs.Put(rec.ID, rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.ContentKey != "" {
+			if err := fs.Put(rec.ContentKey, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	child1 := Record{ID: "c1", Kind: "explore-trace", State: StateDone, ContentKey: "ck-c1", FinishedAt: &finished}
+	child2 := Record{ID: "c2", Kind: "explore-trace", State: StateCanceled, ContentKey: "ck-c2", FinishedAt: &finished}
+	parent := Record{ID: "p1", Kind: "explore-trace", State: StateDone, ContentKey: "ck-p1",
+		FinishedAt: &finished, Children: []string{"c1", "c2"}}
+	fresh := Record{ID: "f1", Kind: "explore-trace", State: StateDone, ContentKey: "ck-f1"}
+	now := time.Now()
+	fresh.FinishedAt = &now
+	running := Record{ID: "r1", Kind: "explore-trace", State: StateRunning, CreatedAt: finished}
+	put(child1)
+	put(child2)
+	put(parent)
+	put(fresh)
+	put(running)
+	if err := fs.PutBlob("old-blob", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.PutBlob("new-blob", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, fs.blobPath("old-blob"), time.Hour)
+
+	removed, err := fs.Cleanup(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// parent + alias, two children + aliases, one blob = 7 files.
+	if removed != 7 {
+		t.Errorf("Cleanup removed %d files, want 7", removed)
+	}
+	for _, key := range []string{"p1", "ck-p1", "c1", "ck-c1", "c2", "ck-c2"} {
+		if _, ok, _ := fs.Get(key); ok {
+			t.Errorf("expired record %q survived cleanup", key)
+		}
+	}
+	if _, ok, _ := fs.GetBlob("old-blob"); ok {
+		t.Error("aged blob survived cleanup")
+	}
+	for _, key := range []string{"f1", "ck-f1", "r1"} {
+		if _, ok, _ := fs.Get(key); !ok {
+			t.Errorf("record %q was removed by cleanup but is not expired", key)
+		}
+	}
+	if _, ok, _ := fs.GetBlob("new-blob"); !ok {
+		t.Error("fresh blob was reaped")
+	}
+
+	// Idempotent: a second sweep finds nothing left to remove.
+	if n, err := fs.Cleanup(30 * time.Minute); err != nil || n != 0 {
+		t.Errorf("second Cleanup = %d, %v", n, err)
 	}
 }

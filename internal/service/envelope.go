@@ -36,6 +36,7 @@ const (
 	CodeRecordLimit        = "record_limit"        // 400: trace exceeded max_records
 	CodeBodyTooLarge       = "body_too_large"      // 413: request body over the size limit
 	CodeUnknownJob         = "unknown_job"         // 404: no job with that id
+	CodeUnknownTraceRef    = "unknown_trace_ref"   // 404: trace_ref names no blob in the shared store
 	CodeDraining           = "draining"            // 503: server is shutting down
 	CodeCanceled           = "canceled"            // 499: request or job canceled mid-sweep
 	CodeInternal           = "internal"            // 500: unexpected engine failure
@@ -48,6 +49,7 @@ var KnownErrorCodes = []string{
 	CodeInvalidRequest, CodeInvalidKernel, CodeUnknownKernel,
 	CodeInvalidOptions, CodeInvalidSearch, CodeConflictingOptions, CodeInvalidTrace,
 	CodeEmptyTrace, CodeRecordLimit, CodeBodyTooLarge, CodeUnknownJob,
+	CodeUnknownTraceRef,
 	CodeDraining, CodeCanceled, CodeInternal,
 }
 

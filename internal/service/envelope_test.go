@@ -119,6 +119,9 @@ func TestErrorEnvelopeSweep(t *testing.T) {
 		{"trace body too large", tiny, "POST", "/v1/explore-trace?" + traceQueryString, nil,
 			strings.Repeat("0 10\n", 100), 413, CodeBodyTooLarge},
 		{"job unknown", shared, "GET", "/v1/jobs/beefbeef", nil, "", 404, CodeUnknownJob},
+		{"trace unknown ref", shared, "POST", "/v1/explore-trace",
+			http.Header{OptionsHeader: {`{"kind":"explore-trace","trace_ref":"` + strings.Repeat("ab", 32) + `"}`}},
+			"", 404, CodeUnknownTraceRef},
 		{"submit while draining", drained, "POST", "/v1/jobs", jsonHdr, `{"kernel":"matadd"}`, 503, CodeDraining},
 		{"explore while draining", drained, "POST", "/v1/explore", jsonHdr, `{"kernel":"matadd"}`, 503, CodeDraining},
 	}

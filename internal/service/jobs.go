@@ -172,18 +172,40 @@ func (s *Server) submitTraceJob(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err) // a MaxBytesError maps to 413 body_too_large
 		return
 	}
+	if len(body) == 0 && tq.traceRef != "" {
+		// A shard job addressing a published trace blob: resolve it now so
+		// an unknown ref fails the submission, not the job.
+		body, err = s.resolveTraceRef(tq.traceRef)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
 	// Key on the normalized options (before the worker clamp: parallelism
-	// never changes the metrics), ingest limits, bounds, and the trace
-	// bytes themselves.
+	// never changes the metrics), ingest limits, bounds, the distribution
+	// shape — a shard's metrics are a slice of the full sweep's, and a
+	// distributed run must not recall a local result (or vice versa) so
+	// byte-identity stays observable — and the trace bytes themselves.
+	shardSpec := ""
+	if tq.shard != nil {
+		shardSpec = fmt.Sprintf("%d/%d", tq.shard.Index, tq.shard.Count)
+	}
 	key := cacheKey("job-trace", mustJSON(tq.opts),
 		fmt.Sprint(tq.ing.MaxRecords), fmt.Sprint(tq.ing.SkipMalformed),
-		fmt.Sprint(tq.cycleBound), fmt.Sprint(tq.energyBoundNJ), string(body))
+		fmt.Sprint(tq.cycleBound), fmt.Sprint(tq.energyBoundNJ),
+		fmt.Sprint(tq.shards), shardSpec, string(body))
 	tq.opts.Workers = s.traceWorkerCount(tq.workers)
 	rec, err := s.runner.Submit(KindExploreTrace, key, func(ctx context.Context, rep *jobs.Reporter) ([]byte, error) {
-		if plan, perr := core.TraceSweepPlan(tq.opts); perr == nil {
+		if tq.shard != nil {
+			// A shard job's totals are its slice of the plan, not the space.
+			if plan, perr := core.TraceShardPlan(tq.opts, tq.shard.Count); perr == nil && tq.shard.Index < len(plan) {
+				rep.SetTotals(int64(len(plan[tq.shard.Index])), 0)
+			}
+		} else if plan, perr := core.TraceSweepPlan(tq.opts); perr == nil {
 			rep.SetTotals(int64(plan.Points), int64(plan.PassUnits()))
 		}
-		resp, err := s.runTrace(reportProgress(ctx, rep), bytes.NewReader(body), tq, false)
+		ctx = withJobReporter(reportProgress(ctx, rep), rep)
+		resp, err := s.runTrace(ctx, bytes.NewReader(body), tq, false)
 		if err != nil {
 			return nil, err
 		}

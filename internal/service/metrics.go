@@ -73,6 +73,14 @@ type counters struct {
 	jobsResultHits expvar.Int
 	jobsQueued     expvar.Int
 	jobsRunning    expvar.Int
+	// Distributed sweeps (the cross-replica coordinator). Shards counts
+	// shard legs dispatched (local and remote alike); peerFailures counts
+	// peer legs that errored and fell back to local execution;
+	// bytesShipped totals trace bytes sent to peers over the wire (blob
+	// handoffs through a shared store don't count — that is the point).
+	distShardsDispatched expvar.Int
+	distPeerFailures     expvar.Int
+	distBytesShipped     expvar.Int
 	// Guided search (internal/search, /v1/search). Runs counts completed
 	// (uncached) searches; evaluations/generations/memoHits accumulate
 	// their per-run totals, so evaluations/runs is the mean budget spend
@@ -123,6 +131,9 @@ var vars = func() *counters {
 	m.Set("jobs_result_hits", &c.jobsResultHits)
 	m.Set("jobs_queued", &c.jobsQueued)
 	m.Set("jobs_running", &c.jobsRunning)
+	m.Set("dist_shards_dispatched", &c.distShardsDispatched)
+	m.Set("dist_peer_failures", &c.distPeerFailures)
+	m.Set("dist_bytes_shipped", &c.distBytesShipped)
 	m.Set("search_runs", &c.searchRuns)
 	m.Set("search_evaluations", &c.searchEvaluations)
 	m.Set("search_generations", &c.searchGenerations)

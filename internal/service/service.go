@@ -77,7 +77,15 @@ type Config struct {
 	// JobsDir, when set, stores terminal job records and content-keyed
 	// results as files under this directory instead of in memory — a
 	// directory shared by several replicas becomes a shared result tier.
+	// JobTTL applies here too: a background janitor removes terminal
+	// records (cascading through child shard jobs and content keys) and
+	// trace blobs older than the TTL, so a shared directory never leaks.
 	JobsDir string
+	// Peers lists the base URLs of sibling replicas (e.g.
+	// "http://10.0.0.2:8080") this server may dispatch distributed sweep
+	// shards to. The list must not include the server itself. Empty means
+	// distributed requests run every shard locally.
+	Peers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +121,13 @@ type Server struct {
 	runner   *jobs.Runner
 	draining atomic.Bool
 	inflight sync.WaitGroup
+	// fsStore is non-nil when JobsDir is configured: the shared tier
+	// distributed sweeps publish trace blobs to, and the store the
+	// cleanup janitor sweeps.
+	fsStore     *jobs.FSStore
+	peerClient  *http.Client
+	janitorStop chan struct{}
+	janitorOnce sync.Once
 }
 
 // New builds a Server with the given configuration. It fails only when
@@ -120,20 +135,27 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	var store jobs.Store
+	var fsStore *jobs.FSStore
 	if cfg.JobsDir != "" {
 		fs, err := jobs.NewFSStore(cfg.JobsDir)
 		if err != nil {
 			return nil, fmt.Errorf("service: opening job store: %w", err)
 		}
-		store = fs
+		store, fsStore = fs, fs
 	} else {
 		store = jobs.NewMemStore(cfg.JobCapacity, cfg.JobTTL)
 	}
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		cache: newResultCache(cfg.CacheEntries),
-		sem:   make(chan struct{}, cfg.MaxConcurrentSweeps),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		cache:      newResultCache(cfg.CacheEntries),
+		sem:        make(chan struct{}, cfg.MaxConcurrentSweeps),
+		fsStore:    fsStore,
+		peerClient: &http.Client{}, // per-request deadlines come from contexts
+	}
+	if fsStore != nil {
+		s.janitorStop = make(chan struct{})
+		go s.janitor(fsStore, cfg.JobTTL)
 	}
 	s.runner = jobs.NewRunner(store, cfg.MaxConcurrentJobs, mapJobError, jobHooks())
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
@@ -177,6 +199,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // individually via DELETE /v1/jobs/{id} for a hard stop).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.janitorStop != nil {
+		s.janitorOnce.Do(func() { close(s.janitorStop) })
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -192,6 +217,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Draining reports whether Shutdown has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// janitor periodically sweeps expired terminal records (and their child
+// shard jobs, content keys and blobs) out of the filesystem job store.
+// It runs until Shutdown; several replicas sweeping the same directory
+// are harmless — removal is idempotent.
+func (s *Server) janitor(fs *jobs.FSStore, ttl time.Duration) {
+	interval := ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			_, _ = fs.Cleanup(ttl)
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
 
 // --- wire types -------------------------------------------------------
 

@@ -10,6 +10,7 @@ package service
 // conflicting_options error.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -50,7 +51,36 @@ type TraceRequest struct {
 	// Workers requests a simulation worker count (0 = server default);
 	// clamped to the server-side cap.
 	Workers int `json:"workers,omitempty"`
+	// Shards requests distributed execution: the sweep's pass units are
+	// partitioned into up to this many disjoint shards, shard 0 runs
+	// locally and the rest are dispatched to the configured peer replicas
+	// as child jobs, with per-shard metrics merged into a result
+	// bit-identical to the local run. -1 means auto (one shard per
+	// replica: peers + 1); 0 and 1 mean plain local execution.
+	Shards int `json:"shards,omitempty"`
+	// Shard marks a shard-execution request — the internal
+	// coordinator-to-peer form. The receiving replica re-derives the
+	// deterministic shard plan from (options, Shard.Count) and sweeps
+	// only the pass units of Shard.Index. Mutually exclusive with Shards.
+	Shard *ShardSpec `json:"shard,omitempty"`
+	// TraceRef, when set, replaces the request body: the SHA-256 content
+	// hash (hex) of a trace blob previously published to the shared
+	// filesystem job store. The trace-upload-once path of distributed
+	// sweeps; unresolvable refs fail with code unknown_trace_ref.
+	TraceRef string `json:"trace_ref,omitempty"`
 }
+
+// ShardSpec addresses one shard of a distributed sweep's deterministic
+// pass-unit partition: shard Index of the Count-way plan.
+type ShardSpec struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// maxShards caps the shard count of a distributed sweep: beyond it the
+// per-shard pass-unit slices get too thin for the dispatch overhead, and
+// an unbounded count is a fan-out amplification hazard.
+const maxShards = 64
 
 // TraceExploreResponse is the POST /v1/explore-trace reply (and,
 // marshaled, the result body of an "explore-trace" job): one Metrics
@@ -74,6 +104,12 @@ type traceQuery struct {
 	// default); the handler clamps it to the server-side cap before it
 	// reaches core.Options.Workers.
 	workers int
+	// shards is the requested distributed shard count (-1 auto, 0/1
+	// local); shard is the internal shard-execution spec; traceRef the
+	// content hash standing in for the body. See TraceRequest.
+	shards   int
+	shard    *ShardSpec
+	traceRef string
 }
 
 // resolveTraceRequest decodes a trace sweep's options from the
@@ -106,6 +142,22 @@ func resolveTraceOptions(tr TraceRequest) (traceQuery, error) {
 	if tr.Workers < 0 {
 		return traceQuery{}, &core.ErrInvalidOptions{Field: "workers", Reason: "workers must be ≥ 0 (0 = server default)"}
 	}
+	if tr.Shards < -1 || tr.Shards > maxShards {
+		return traceQuery{}, &core.ErrInvalidOptions{Field: "shards",
+			Reason: fmt.Sprintf("shards must be between -1 (auto) and %d, got %d", maxShards, tr.Shards)}
+	}
+	if tr.Shard != nil {
+		if tr.Shards != 0 {
+			return traceQuery{}, &core.ErrInvalidOptions{Field: "shard", Reason: "shard (execute one shard) and shards (coordinate a distributed sweep) are mutually exclusive"}
+		}
+		if tr.Shard.Count < 1 || tr.Shard.Count > maxShards || tr.Shard.Index < 0 || tr.Shard.Index >= tr.Shard.Count {
+			return traceQuery{}, &core.ErrInvalidOptions{Field: "shard",
+				Reason: fmt.Sprintf("shard index must be in [0, count) with count in [1, %d], got %d/%d", maxShards, tr.Shard.Index, tr.Shard.Count)}
+		}
+	}
+	if tr.TraceRef != "" && !isHex64(tr.TraceRef) {
+		return traceQuery{}, &core.ErrInvalidOptions{Field: "trace_ref", Reason: "trace_ref must be a 64-character lowercase hex SHA-256"}
+	}
 	opts, err := resolveOptions(tr.Options)
 	if err != nil {
 		return traceQuery{}, err
@@ -116,14 +168,31 @@ func resolveTraceOptions(tr TraceRequest) (traceQuery, error) {
 		cycleBound:    tr.CycleBound,
 		energyBoundNJ: tr.EnergyBoundNJ,
 		workers:       tr.Workers,
+		shards:        tr.Shards,
+		shard:         tr.Shard,
+		traceRef:      tr.TraceRef,
 	}, nil
+}
+
+// isHex64 reports whether s is a 64-char lowercase hex string (a SHA-256).
+func isHex64(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // parseTraceQuery decodes the deprecated query-string alias strictly:
 // unknown keys and malformed values are errors, mirroring decodeBody's
 // unknown-field policy. Recognized keys: sizes, lines, assocs
 // (comma-separated ints), em (main-memory nJ/access), max_records,
-// skip_malformed, cycle_bound, energy_bound_nj, workers.
+// skip_malformed, cycle_bound, energy_bound_nj, workers, shards.
 func parseTraceQuery(q url.Values) (traceQuery, error) {
 	tq := traceQuery{opts: core.DefaultOptions()}
 	for key, vals := range q {
@@ -165,6 +234,13 @@ func parseTraceQuery(q url.Values) (traceQuery, error) {
 				return tq, &core.ErrInvalidOptions{Field: key, Reason: "workers must be ≥ 0 (0 = server default)"}
 			}
 			tq.workers = n
+		case "shards":
+			var n int
+			if n, err = strconv.Atoi(v); err == nil && (n < -1 || n > maxShards) {
+				return tq, &core.ErrInvalidOptions{Field: key,
+					Reason: fmt.Sprintf("shards must be between -1 (auto) and %d, got %d", maxShards, n)}
+			}
+			tq.shards = n
 		default:
 			return tq, &core.ErrInvalidOptions{Field: key, Reason: "unknown query parameter"}
 		}
@@ -203,10 +279,19 @@ func (s *Server) handleExploreTrace(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	var body io.Reader = r.Body
+	if tq.traceRef != "" {
+		data, err := s.resolveTraceRef(tq.traceRef)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		body = bytes.NewReader(data)
+	}
 	// Resolve the worker count here so the engine's observer reports the
 	// actual shard count through the trace_workers gauge.
 	tq.opts.Workers = s.traceWorkerCount(tq.workers)
-	resp, err := s.runTrace(r.Context(), r.Body, tq, true)
+	resp, err := s.runTrace(r.Context(), body, tq, true)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -231,10 +316,22 @@ func (s *Server) traceWorkerCount(requested int) int {
 
 // runTrace executes one streaming trace sweep end-to-end — worker pool,
 // expvar accounting, envelope. The sync handler and the async job body
-// both call it, which is what keeps their results byte-identical.
+// both call it, which is what keeps their results byte-identical. A
+// distributed request (shards ≥ 2 effective) takes the coordinator path,
+// which yields merged metrics bit-identical to the local sweep and then
+// flows through the very same envelope assembly below.
 func (s *Server) runTrace(ctx context.Context, body io.Reader, tq traceQuery, tracked bool) (*TraceExploreResponse, error) {
 	begin := time.Now()
-	ms, st, err := s.traceSweep(ctx, body, tq, tracked)
+	var (
+		ms  []core.Metrics
+		st  extrace.IngestStats
+		err error
+	)
+	if n := s.effectiveShards(tq); n >= 2 {
+		ms, st, err = s.distTraceSweep(ctx, body, tq, n, tracked)
+	} else {
+		ms, st, err = s.traceSweep(ctx, body, tq, tracked)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +427,19 @@ func (s *Server) traceSweep(ctx context.Context, body io.Reader, tq traceQuery, 
 		}
 	}
 
-	ms, st, err := core.ExploreTraceReader(ctx, body, tq.opts, tq.ing)
+	var (
+		ms  []core.Metrics
+		st  extrace.IngestStats
+		err error
+	)
+	if tq.shard != nil {
+		// Shard execution (the peer side of a distributed sweep): same
+		// stream, same filters, but the engine owns only the shard's pass
+		// units. Metrics come back in the shard's own point order.
+		ms, st, err = core.ExploreTraceShard(ctx, body, tq.opts, tq.ing, tq.shard.Index, tq.shard.Count)
+	} else {
+		ms, st, err = core.ExploreTraceReader(ctx, body, tq.opts, tq.ing)
+	}
 	vars.traceBytesRead.Add(st.BytesRead)
 	vars.traceRecords.Add(st.Records)
 	vars.traceRejects.Add(st.Rejects)
